@@ -1,0 +1,53 @@
+"""Figure 20: DTLP build and maintenance time vs graph size Ng.
+
+The paper carves subgraphs of 50k-250k vertices out of COL and shows that
+both the construction time and the maintenance time of DTLP grow roughly
+linearly with the graph size.  Here the graph sizes are scaled grids of
+increasing size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_experiment
+from repro.core import DTLP, DTLPConfig
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+
+
+@pytest.mark.paper_figure("fig20")
+def test_fig20_build_and_maintenance_vs_graph_size(scale, benchmark):
+    sides = (10, 14, 18, 22, 26) if scale.name == "quick" else (12, 17, 22, 27, 32)
+    rows = []
+    build_times = []
+    for side in sides:
+        graph = road_network(side, side, seed=31)
+        dtlp = DTLP(graph, DTLPConfig(z=32, xi=5)).build()
+        model = TrafficModel(graph, alpha=0.5, tau=0.5, seed=13)
+        updates = model.advance()
+        maintenance = dtlp.handle_updates(updates)
+        rows.append(
+            [
+                graph.num_vertices,
+                graph.num_edges,
+                round(dtlp.build_seconds, 4),
+                round(maintenance, 4),
+            ]
+        )
+        build_times.append(dtlp.build_seconds)
+
+    def kernel():
+        graph = road_network(sides[0], sides[0], seed=31)
+        return DTLP(graph, DTLPConfig(z=32, xi=5)).build()
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print_experiment(
+        "Figure 20: DTLP build/maintenance time vs graph size Ng (xi=5, alpha=50%)",
+        ["Ng (vertices)", "#edges", "build time (s)", "maintenance time (s)"],
+        rows,
+        notes="paper: both costs grow roughly linearly with the graph size",
+    )
+    # The largest graph should cost more to build than the smallest one.
+    assert build_times[-1] > build_times[0]

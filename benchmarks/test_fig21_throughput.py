@@ -1,0 +1,59 @@
+"""Figure 21: update throughput and per-update latency vs graph size Ng.
+
+The paper streams 1000 rounds of weight changes (half of the edges each) and
+reports the maximum sustained throughput (edges/s) and the average per-update
+latency, observing that both are largely insensitive to the graph size.  The
+scaled version streams fewer rounds but reports the same two series.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_experiment
+from repro.core import DTLP, DTLPConfig
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+
+
+@pytest.mark.paper_figure("fig21")
+def test_fig21_update_throughput_and_latency(scale, benchmark):
+    sides = (10, 14, 18, 22) if scale.name == "quick" else (12, 17, 22, 27)
+    rounds = 3 if scale.name == "quick" else 10
+    rows = []
+    throughputs = []
+    for side in sides:
+        graph = road_network(side, side, seed=37)
+        dtlp = DTLP(graph, DTLPConfig(z=32, xi=10)).build()
+        model = TrafficModel(graph, alpha=0.5, tau=0.5, seed=19)
+        total_updates = 0
+        total_seconds = 0.0
+        for _ in range(rounds):
+            updates = model.advance()
+            total_updates += len(updates)
+            total_seconds += dtlp.handle_updates(updates)
+        throughput = total_updates / total_seconds if total_seconds else float("inf")
+        latency_us = (total_seconds / total_updates) * 1e6 if total_updates else 0.0
+        throughputs.append(throughput)
+        rows.append(
+            [graph.num_vertices, total_updates, round(throughput, 1), round(latency_us, 1)]
+        )
+
+    def kernel():
+        graph = road_network(sides[0], sides[0], seed=37)
+        dtlp = DTLP(graph, DTLPConfig(z=32, xi=10)).build()
+        updates = TrafficModel(graph, alpha=0.5, tau=0.5, seed=19).advance()
+        return dtlp.handle_updates(updates)
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print_experiment(
+        "Figure 21: update throughput and per-update latency vs graph size (xi=10, alpha=50%)",
+        ["Ng (vertices)", "#updates applied", "throughput (edges/s)", "latency (us/update)"],
+        rows,
+        notes="paper: throughput ~8k-12k edges/s and latency ~70-90us, roughly flat in Ng",
+    )
+    # Throughput should not collapse as the graph grows (same order of magnitude).
+    assert max(throughputs) / max(min(throughputs), 1e-9) < 50

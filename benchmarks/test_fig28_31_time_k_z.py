@@ -1,0 +1,68 @@
+"""Figures 28-31: KSP-DG query processing time vs k and z, per dataset.
+
+The paper feeds 1000 queries into the system and measures the total
+processing time for several subgraph sizes z and several k, observing a
+U-shape in z (too-small subgraphs mean a big skeleton graph; too-large
+subgraphs make per-subgraph Yen expensive) and a roughly linear growth in k.
+The scaled version uses the simulated cluster's parallel completion time as
+the processing-time metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_dataset, make_queries, print_experiment
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+
+
+def batch_time(name, scale, z, k, num_workers=4):
+    graph = build_dataset(name, scale=scale.graph_scale)
+    dtlp = DTLP(graph, DTLPConfig(z=z, xi=3)).build()
+    topology = StormTopology(dtlp, num_workers=num_workers)
+    queries = make_queries(graph, scale.num_queries, k=k, seed=19)
+    report = topology.run_queries(queries)
+    return report
+
+
+@pytest.mark.paper_figure("fig28-31")
+def test_fig28_31_processing_time_vs_k_and_z(scale, benchmark):
+    rows = []
+    per_dataset = {}
+    k_grid = scale.k_values
+    for name in scale.datasets:
+        z_grid = scale.z_values[name][:3]
+        times = {}
+        for z in z_grid:
+            for k in k_grid:
+                report = batch_time(name, scale, z=z, k=k)
+                times[(z, k)] = report.makespan_seconds
+                rows.append(
+                    [
+                        name,
+                        z,
+                        k,
+                        round(report.makespan_seconds, 4),
+                        round(report.total_compute_seconds, 4),
+                        round(report.mean_iterations, 1),
+                    ]
+                )
+        per_dataset[name] = (z_grid, times)
+
+    benchmark.pedantic(
+        lambda: batch_time(scale.datasets[0], scale, z=scale.z_values[scale.datasets[0]][1],
+                           k=k_grid[0]),
+        rounds=1, iterations=1,
+    )
+
+    print_experiment(
+        f"Figures 28-31: query processing time vs z and k (Nq={scale.num_queries}, xi=3, scaled)",
+        ["dataset", "z", "k", "parallel time (s)", "total compute (s)", "mean iterations"],
+        rows,
+        notes="paper: time grows roughly linearly in k; U-shaped in z",
+    )
+    # Processing time should grow with k for every dataset at the default z.
+    for name, (z_grid, times) in per_dataset.items():
+        middle_z = z_grid[min(1, len(z_grid) - 1)]
+        assert times[(middle_z, k_grid[-1])] >= times[(middle_z, k_grid[0])] * 0.8

@@ -1,0 +1,51 @@
+"""Figure 32: KSP-DG processing time vs the number of concurrent queries Nq.
+
+The paper feeds batches of 2000-10000 queries and observes a roughly linear
+growth of the total processing time with batch size, with a low slope thanks
+to the distributed execution.  The scaled version sweeps the batch sizes of
+the experiment profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DATASET_DEFAULT_Z, build_dataset, make_queries, print_experiment
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+
+
+@pytest.mark.paper_figure("fig32")
+def test_fig32_processing_time_vs_num_queries(scale, benchmark):
+    rows = []
+    per_dataset = {}
+    for name in scale.datasets:
+        graph = build_dataset(name, scale=scale.graph_scale)
+        dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
+        topology = StormTopology(dtlp, num_workers=4)
+        times = []
+        for batch_size in scale.num_query_batches:
+            queries = make_queries(graph, batch_size, k=2, seed=47)
+            report = topology.run_queries(queries)
+            times.append(report.makespan_seconds)
+            rows.append([name, batch_size, round(report.makespan_seconds, 4)])
+        per_dataset[name] = times
+
+    name = scale.datasets[0]
+
+    def kernel():
+        graph = build_dataset(name, scale=scale.graph_scale)
+        dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
+        topology = StormTopology(dtlp, num_workers=4)
+        return topology.run_queries(make_queries(graph, scale.num_query_batches[0], k=2, seed=47))
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print_experiment(
+        "Figure 32: processing time vs number of queries Nq (k=2, xi=3, scaled)",
+        ["dataset", "Nq", "parallel time (s)"],
+        rows,
+        notes="paper: processing time grows approximately linearly with Nq",
+    )
+    for name, times in per_dataset.items():
+        assert times[-1] >= times[0], f"{name}: larger batches should take longer"

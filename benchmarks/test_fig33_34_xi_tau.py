@@ -1,0 +1,85 @@
+"""Figures 33-34: query processing time vs xi and vs tau.
+
+Figure 33 fixes a small query batch and shows the processing time falling as
+xi grows (fewer iterations thanks to tighter bounds); Figure 34 shows the
+processing time rising slowly with tau (looser bounds mean more iterations).
+Both effects are driven by the iteration counts of Figures 24-25.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DATASET_DEFAULT_Z, build_dataset, make_queries, print_experiment
+from repro.core import DTLP, DTLPConfig, KSPDG
+from repro.dynamics import TrafficModel
+
+
+def batch_seconds(name, scale, xi, tau, k, seed=53):
+    """Total KSP-DG time for a small query batch after one traffic snapshot.
+
+    Like the iteration sweeps (Figures 24-27), these per-parameter runs are
+    dominated by loose-bound iterations, so they use a reduced graph scale,
+    a small batch and congestion-style weight increases (the tight-bound
+    regime §5.5 assumes); the xi/tau trends are what the figure reports.
+    """
+    graph_scale = min(scale.graph_scale, 0.5)
+    graph = build_dataset(name, scale=graph_scale).snapshot()
+    z = max(12, DATASET_DEFAULT_Z[name] // 2)
+    dtlp = DTLP(graph, DTLPConfig(z=z, xi=xi)).build()
+    graph.add_listener(dtlp.handle_updates)
+    TrafficModel(graph, alpha=0.3, tau=tau, seed=seed, direction="increase").advance()
+    engine = KSPDG(dtlp)
+    queries = make_queries(graph, min(scale.num_queries, 6), k=k, seed=3)
+    total = 0.0
+    for query in queries:
+        total += engine.query(query.source, query.target, query.k).elapsed_seconds
+    return total
+
+
+@pytest.mark.paper_figure("fig33")
+def test_fig33_processing_time_vs_xi(scale, benchmark):
+    name = scale.datasets[0]
+    k = max(scale.k_values)
+    rows = []
+    series = []
+    for xi in scale.xi_values:
+        seconds = batch_seconds(name, scale, xi=xi, tau=0.9, k=k)
+        series.append(seconds)
+        rows.append([name, xi, k, round(seconds, 4)])
+
+    benchmark.pedantic(
+        lambda: batch_seconds(name, scale, xi=scale.xi_values[-1], tau=0.9, k=scale.k_values[0]),
+        rounds=1, iterations=1,
+    )
+    print_experiment(
+        f"Figure 33: processing time vs xi (alpha=30%, tau=90%, k={k}, scaled)",
+        ["dataset", "xi", "k", "total query time (s)"],
+        rows,
+        notes="paper: processing time decreases with xi (fewer iterations)",
+    )
+    assert series[-1] <= series[0] * 1.5, "larger xi should not make queries much slower"
+
+
+@pytest.mark.paper_figure("fig34")
+def test_fig34_processing_time_vs_tau(scale, benchmark):
+    name = scale.datasets[0]
+    k = max(scale.k_values)
+    rows = []
+    series = []
+    for tau in scale.tau_values:
+        seconds = batch_seconds(name, scale, xi=3, tau=tau, k=k)
+        series.append(seconds)
+        rows.append([name, f"{int(tau * 100)}%", k, round(seconds, 4)])
+
+    benchmark.pedantic(
+        lambda: batch_seconds(name, scale, xi=3, tau=scale.tau_values[0], k=scale.k_values[0]),
+        rounds=1, iterations=1,
+    )
+    print_experiment(
+        f"Figure 34: processing time vs tau (alpha=30%, xi=3, k={k}, scaled)",
+        ["dataset", "tau", "k", "total query time (s)"],
+        rows,
+        notes="paper: processing time increases slowly with tau",
+    )
+    assert series[-1] >= series[0] * 0.5, "larger tau should not make queries much faster"

@@ -1,0 +1,112 @@
+"""Figures 40-41: comparison with CANDS for single-shortest-path queries (k=1).
+
+CANDS indexes the exact shortest path between every pair of boundary
+vertices per subgraph.  The paper shows (Figure 40) that CANDS answers k=1
+queries somewhat faster than KSP-DG, but (Figure 41) its index maintenance
+under heavy weight churn is far more expensive than DTLP's, because the
+indexed shortest paths must be recomputed while DTLP's bounding paths never
+change.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms import CandsIndex
+from repro.bench import DATASET_DEFAULT_Z, build_dataset, make_queries, print_experiment
+from repro.core import DTLP, DTLPConfig, KSPDG
+from repro.dynamics import TrafficModel
+
+
+@pytest.mark.paper_figure("fig40-41")
+def test_fig40_41_cands_comparison(scale, benchmark):
+    processing_rows = []
+    maintenance_rows = []
+    maintenance_ok = True
+    for name in scale.datasets:
+        graph = build_dataset(name, scale=scale.graph_scale).snapshot()
+        z = DATASET_DEFAULT_Z[name]
+        dtlp = DTLP(graph, DTLPConfig(z=z, xi=3)).build()
+        cands = CandsIndex(dtlp.partition).build()
+        engine = KSPDG(dtlp)
+        queries = make_queries(graph, scale.num_queries, k=1, seed=71)
+
+        started = time.perf_counter()
+        for query in queries:
+            engine.query(query.source, query.target, 1)
+        ksp_dg_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for query in queries:
+            cands.shortest_path(query.source, query.target)
+        cands_seconds = time.perf_counter() - started
+
+        processing_rows.append(
+            [name, round(ksp_dg_seconds, 4), round(cands_seconds, 4)]
+        )
+
+        # Figure 41: maintenance cost under alpha=50%, tau=50%.  Besides the
+        # wall-clock times we report a scale-independent work proxy: the
+        # number of single-source Dijkstra runs CANDS must redo versus the
+        # number of bounding-path distance refreshes DTLP performs.
+        model = TrafficModel(graph, alpha=0.5, tau=0.5, seed=73)
+        updates = model.advance()
+        dtlp_maintenance = dtlp.handle_updates(updates)
+        cands_maintenance = cands.handle_updates(updates)
+        touched_subgraphs = {
+            dtlp.partition.owner_of_edge(update.u, update.v) for update in updates
+        }
+        cands_dijkstras = sum(
+            len(dtlp.partition.subgraph(sid).boundary_vertices)
+            for sid in touched_subgraphs
+        )
+        dtlp_path_refreshes = 0
+        for sid in touched_subgraphs:
+            index = dtlp.subgraph_index(sid)
+            touched_paths = set()
+            for update in updates:
+                touched_paths.update(index.ep_index.paths_through_edge(update.u, update.v))
+            dtlp_path_refreshes += len(touched_paths)
+        maintenance_rows.append(
+            [
+                name,
+                round(dtlp_maintenance, 4),
+                round(cands_maintenance, 4),
+                dtlp_path_refreshes,
+                cands_dijkstras,
+            ]
+        )
+        maintenance_ok = maintenance_ok and cands_maintenance >= dtlp_maintenance * 0.5
+
+    name = scale.datasets[0]
+
+    def kernel():
+        graph = build_dataset(name, scale=scale.graph_scale).snapshot()
+        dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
+        return CandsIndex(dtlp.partition).build()
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print_experiment(
+        f"Figure 40: KSP-DG vs CANDS, k=1 processing time (Nq={scale.num_queries}, scaled)",
+        ["dataset", "KSP-DG (s)", "CANDS (s)"],
+        processing_rows,
+        notes="paper: CANDS is faster for single-shortest-path queries",
+    )
+    print_experiment(
+        "Figure 41: KSP-DG (DTLP) vs CANDS index maintenance time (alpha=50%, tau=50%, scaled)",
+        ["dataset", "DTLP (s)", "CANDS (s)", "DTLP path refreshes", "CANDS Dijkstra runs"],
+        maintenance_rows,
+        notes=(
+            "paper: CANDS maintenance is far more expensive than DTLP's.  At this scale the "
+            "wall-clock gap is small because subgraphs hold only tens of vertices (one CANDS "
+            "Dijkstra is cheap); the work-proxy columns show the structural difference — each "
+            "CANDS Dijkstra costs O(z log z) and grows with the subgraph size, while each DTLP "
+            "refresh is a constant-time path-distance adjustment."
+        ),
+    )
+    assert maintenance_ok, (
+        "CANDS maintenance should not be drastically cheaper than DTLP's"
+    )

@@ -1,0 +1,157 @@
+"""Figures 42-46 and the Section 6.6 load-balance check: horizontal scalability.
+
+* Figure 42 — DTLP building time falls as servers are added (per-subgraph
+  index builds are spread across workers).
+* Figure 43 — query batch processing time falls as servers are added.
+* Figure 44 — the same holds for every k.
+* Figure 45 — KSP-DG stays ahead of the replicated centralized baselines as
+  the cluster grows.
+* Figure 46 — relative speedups of all three algorithms grow roughly
+  linearly with the number of servers.
+* Section 6.6 (text) — the CPU and memory load spread across workers stays
+  small; the simulated-cluster report exposes the same quantities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DATASET_DEFAULT_Z, build_dataset, make_queries, print_experiment
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology, distributed_build_report
+from repro.workloads import BatchRunner, YenEngine
+
+
+@pytest.mark.paper_figure("fig42")
+def test_fig42_build_time_vs_servers(scale, benchmark):
+    rows = []
+    monotone = True
+    for name in scale.datasets:
+        graph = build_dataset(name, scale=scale.graph_scale)
+        config = DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=5)
+        times = []
+        for servers in scale.server_counts:
+            report = distributed_build_report(graph, config, num_workers=servers)
+            times.append(report.parallel_build_seconds)
+            rows.append([name, servers, round(report.parallel_build_seconds, 4)])
+        monotone = monotone and times[-1] <= times[0] * 1.1
+
+    name = scale.datasets[0]
+    benchmark.pedantic(
+        lambda: distributed_build_report(
+            build_dataset(name, scale=scale.graph_scale),
+            DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=5),
+            num_workers=scale.server_counts[0],
+        ),
+        rounds=1, iterations=1,
+    )
+    print_experiment(
+        "Figure 42: DTLP building time vs number of servers (xi=5, scaled)",
+        ["dataset", "#servers", "parallel build time (s)"],
+        rows,
+        notes="paper: building time decreases as servers are added",
+    )
+    assert monotone
+
+
+@pytest.mark.paper_figure("fig43-44")
+def test_fig43_44_processing_time_vs_servers(scale, benchmark):
+    name = scale.datasets[0]
+    graph = build_dataset(name, scale=scale.graph_scale)
+    dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
+
+    rows = []
+    makespans_by_k = {}
+    for k in scale.k_values:
+        queries = make_queries(graph, scale.num_queries, k=k, seed=83)
+        times = []
+        for servers in scale.server_counts:
+            topology = StormTopology(dtlp, num_workers=servers)
+            report = topology.run_queries(queries)
+            times.append(report.makespan_seconds)
+            rows.append([name, servers, k, round(report.makespan_seconds, 4)])
+        makespans_by_k[k] = times
+
+    benchmark.pedantic(
+        lambda: StormTopology(dtlp, num_workers=scale.server_counts[0]).run_queries(
+            make_queries(graph, 2, k=scale.k_values[0], seed=83)
+        ),
+        rounds=1, iterations=1,
+    )
+    print_experiment(
+        f"Figures 43-44: processing time vs number of servers ({name}, Nq={scale.num_queries}, scaled)",
+        ["dataset", "#servers", "k", "parallel time (s)"],
+        rows,
+        notes="paper: processing time drops as servers are added, for every k",
+    )
+    for k, times in makespans_by_k.items():
+        assert times[-1] <= times[0] * 1.2, f"k={k}: more servers should not slow processing"
+
+
+@pytest.mark.paper_figure("fig45-46")
+def test_fig45_46_scalability_comparison_and_speedups(scale, benchmark):
+    name = scale.datasets[0]
+    graph = build_dataset(name, scale=scale.graph_scale)
+    dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
+    queries = make_queries(graph, scale.num_queries, k=2, seed=89)
+
+    rows = []
+    speedup_rows = []
+    ksp_dg_times = []
+    yen_times = []
+    for servers in scale.server_counts:
+        topology = StormTopology(dtlp, num_workers=servers)
+        ksp_dg_report = topology.run_queries(queries)
+        yen_report = BatchRunner(YenEngine(graph), num_servers=servers).run(queries)
+        ksp_dg_times.append(ksp_dg_report.makespan_seconds)
+        yen_times.append(yen_report.parallel_seconds)
+        rows.append(
+            [
+                servers,
+                round(ksp_dg_report.makespan_seconds, 4),
+                round(yen_report.parallel_seconds, 4),
+            ]
+        )
+
+    for index, servers in enumerate(scale.server_counts):
+        speedup_rows.append(
+            [
+                servers,
+                round(ksp_dg_times[0] / max(ksp_dg_times[index], 1e-9), 2),
+                round(yen_times[0] / max(yen_times[index], 1e-9), 2),
+            ]
+        )
+
+    # Section 6.6 load balance on the largest cluster.
+    topology = StormTopology(dtlp, num_workers=scale.server_counts[-1])
+    report = topology.run_queries(queries)
+    balance = report.load_balance
+
+    benchmark.pedantic(
+        lambda: StormTopology(dtlp, num_workers=scale.server_counts[-1]).run_queries(queries[:2]),
+        rounds=1, iterations=1,
+    )
+
+    print_experiment(
+        f"Figure 45: scalability comparison ({name}, Nq={scale.num_queries}, k=2, scaled)",
+        ["#servers", "KSP-DG (s)", "Yen replicated (s)"],
+        rows,
+        notes="paper: KSP-DG always outperforms the replicated centralized baselines",
+    )
+    print_experiment(
+        "Figure 46: relative speedups vs number of servers (baseline = smallest cluster)",
+        ["#servers", "KSP-DG speedup", "Yen speedup"],
+        speedup_rows,
+        notes="paper: relative speedup grows roughly linearly with the number of servers",
+    )
+    print_experiment(
+        "Section 6.6: load balance across workers (largest cluster)",
+        ["metric", "value"],
+        [
+            ["busy-time spread", round(balance["busy_spread"], 4)],
+            ["memory spread", round(balance["memory_spread"], 4)],
+        ],
+        notes="paper: CPU utilisation spread < 6%, memory spread < 2% (absolute terms)",
+    )
+    # Speedups should be non-trivial on the largest cluster.
+    assert ksp_dg_times[-1] <= ksp_dg_times[0] * 1.2

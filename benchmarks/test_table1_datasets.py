@@ -1,0 +1,55 @@
+"""Table 1: statistics on the road-network datasets.
+
+The paper's Table 1 reports, per dataset, the number of vertices and edges,
+the default subgraph-size threshold z, the number of subgraphs (and how many
+have more than five boundary vertices), and the size of the skeleton graph.
+This benchmark regenerates the same table for the scaled datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DATASET_DEFAULT_Z, build_dataset, build_dtlp, print_experiment
+
+
+@pytest.mark.paper_figure("table1")
+def test_table1_dataset_statistics(scale, benchmark):
+    rows = []
+    for name in scale.datasets:
+        z = DATASET_DEFAULT_Z[name]
+        graph = build_dataset(name, scale=scale.graph_scale)
+        dtlp = build_dtlp(name, z=z, xi=5, scale=scale.graph_scale)
+        stats = dtlp.statistics()
+        rows.append(
+            [
+                name,
+                graph.num_vertices,
+                graph.num_edges,
+                z,
+                stats.num_subgraphs,
+                stats.num_subgraphs_with_many_boundaries,
+                stats.skeleton_vertices,
+            ]
+        )
+
+    def rebuild_smallest():
+        # Timed kernel: partition + index build of the smallest dataset.
+        from repro.core import DTLP, DTLPConfig
+
+        name = scale.datasets[0]
+        graph = build_dataset(name, scale=scale.graph_scale)
+        return DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=5)).build()
+
+    benchmark(rebuild_smallest)
+
+    print_experiment(
+        "Table 1: Statistics on the Road Network Datasets (scaled)",
+        ["dataset", "#vertices", "#edges", "z", "#subgraphs", "#subgraphs nb>5", "|G_lambda|"],
+        rows,
+        notes="paper: NY 264k/734k vertices/edges, |G_lambda| ~9% of |V|; shapes should match",
+    )
+    assert rows
+    for row in rows:
+        assert row[4] > 1, "every dataset should partition into multiple subgraphs"
+        assert row[6] <= row[1], "skeleton graph cannot exceed the original graph"

@@ -1,0 +1,46 @@
+"""Table 3: number of vertices in the skeleton graph with varying z.
+
+The paper's Table 3 shows that the skeleton graph shrinks as the subgraph
+size threshold z grows (fewer, larger subgraphs have relatively fewer
+boundary vertices).  This benchmark regenerates the table for the scaled
+datasets and asserts the monotone trend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_dataset, print_experiment
+from repro.core import DTLP, DTLPConfig
+
+
+@pytest.mark.paper_figure("table3")
+def test_table3_skeleton_size_vs_z(scale, benchmark):
+    rows = []
+    trend_ok = True
+    for name in scale.datasets:
+        graph = build_dataset(name, scale=scale.graph_scale)
+        sizes = []
+        for z in scale.z_values[name]:
+            dtlp = DTLP(graph, DTLPConfig(z=z, xi=1)).build()
+            sizes.append(dtlp.statistics().skeleton_vertices)
+        rows.append([name] + sizes)
+        # Larger z should not increase the number of boundary vertices much;
+        # require the last grid point to be below the first.
+        trend_ok = trend_ok and sizes[-1] <= sizes[0]
+
+    def kernel():
+        name = scale.datasets[0]
+        graph = build_dataset(name, scale=scale.graph_scale)
+        return DTLP(graph, DTLPConfig(z=scale.z_values[name][0], xi=1)).build()
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    header = ["dataset"] + [f"z={z}" for z in scale.z_values[scale.datasets[0]]]
+    print_experiment(
+        "Table 3: |G_lambda| (number of skeleton vertices) with varying z (scaled)",
+        header,
+        rows,
+        notes="paper: skeleton shrinks as z grows (e.g. NY 32.5k at z=100 down to 20.8k at z=300)",
+    )
+    assert trend_ok, "skeleton graph should shrink (or stay flat) as z grows"

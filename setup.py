@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on environments whose setuptools/pip
+combination lacks wheel support for PEP 660 editable installs (legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

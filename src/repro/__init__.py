@@ -1,0 +1,132 @@
+"""repro: reference reproduction of KSP-DG / DTLP (SIGMOD 2020).
+
+The library implements distributed processing of k-shortest-path (KSP)
+queries over dynamic road networks:
+
+* :mod:`repro.graph` — dynamic weighted graphs, BFS partitioning into
+  subgraphs with boundary vertices, synthetic road-network generators and
+  DIMACS IO.
+* :mod:`repro.algorithms` — Dijkstra primitives, Yen's algorithm, the
+  FindKSP baseline and the CANDS single-shortest-path baseline.
+* :mod:`repro.core` — the DTLP two-level index (bounding paths, EP-Index,
+  lower bounds, skeleton graph, MinHash/LSH + MFP-tree compression) and the
+  KSP-DG filter-and-refine query algorithm.
+* :mod:`repro.distributed` — a simulated Storm-like cluster runtime with
+  per-worker cost accounting (spouts, bolts, topology).
+* :mod:`repro.dynamics` — the traffic model that evolves edge weights.
+* :mod:`repro.workloads` — query generation and batch runners.
+* :mod:`repro.bench` — the experiment harness used by ``benchmarks/``.
+
+Quickstart
+----------
+>>> from repro import road_network, DTLP, DTLPConfig, KSPDG
+>>> graph = road_network(10, 10, seed=1)
+>>> dtlp = DTLP(graph, DTLPConfig(z=16, xi=3)).build()
+>>> engine = KSPDG(dtlp)
+>>> result = engine.query(0, 99, k=3)
+>>> len(result.paths)
+3
+"""
+
+from .algorithms import (
+    CandsIndex,
+    FindKSP,
+    LazyYen,
+    dijkstra,
+    find_ksp,
+    shortest_distance,
+    shortest_path,
+    yen_k_shortest_paths,
+)
+from .core import (
+    DTLP,
+    DTLPConfig,
+    DTLPStatistics,
+    EPIndex,
+    KSPDG,
+    KSPResult,
+    SkeletonGraph,
+    SubgraphIndex,
+    constrained_ksp,
+    diverse_ksp,
+    path_overlap,
+)
+from .distributed import KSPDGEngine, SimulatedCluster, StormTopology, TopologyReport
+from .dynamics import TrafficModel
+from .graph import (
+    DATASET_SPECS,
+    DirectedDynamicGraph,
+    DynamicGraph,
+    GraphPartition,
+    Path,
+    ReproError,
+    Subgraph,
+    WeightUpdate,
+    dataset,
+    grid_graph,
+    partition_graph,
+    random_graph,
+    road_network,
+)
+from .workloads import (
+    BatchReport,
+    BatchRunner,
+    FindKSPEngine,
+    KSPQuery,
+    QueryGenerator,
+    YenEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "DynamicGraph",
+    "DirectedDynamicGraph",
+    "WeightUpdate",
+    "GraphPartition",
+    "partition_graph",
+    "Subgraph",
+    "Path",
+    "ReproError",
+    "road_network",
+    "grid_graph",
+    "random_graph",
+    "dataset",
+    "DATASET_SPECS",
+    # algorithms
+    "dijkstra",
+    "shortest_path",
+    "shortest_distance",
+    "yen_k_shortest_paths",
+    "LazyYen",
+    "find_ksp",
+    "FindKSP",
+    "CandsIndex",
+    # core
+    "DTLP",
+    "DTLPConfig",
+    "DTLPStatistics",
+    "EPIndex",
+    "SkeletonGraph",
+    "SubgraphIndex",
+    "KSPDG",
+    "KSPResult",
+    "constrained_ksp",
+    "diverse_ksp",
+    "path_overlap",
+    # distributed
+    "SimulatedCluster",
+    "StormTopology",
+    "TopologyReport",
+    "KSPDGEngine",
+    # dynamics & workloads
+    "TrafficModel",
+    "KSPQuery",
+    "QueryGenerator",
+    "BatchRunner",
+    "BatchReport",
+    "YenEngine",
+    "FindKSPEngine",
+]

@@ -1,0 +1,298 @@
+"""Single-source shortest-path primitives.
+
+These functions work on any object exposing a ``neighbors(vertex)`` iterable
+of ``(neighbour, weight)`` pairs — both :class:`~repro.graph.graph.DynamicGraph`
+(whose ``neighbors`` returns a mapping) and
+:class:`~repro.graph.subgraph.Subgraph` (whose ``neighbors`` yields pairs)
+are supported through the small adapter :func:`iter_neighbors`.
+
+Provided algorithms:
+
+* :func:`dijkstra` — classical Dijkstra from a single source, with optional
+  early exit at a target and optional restriction to a vertex subset.
+* :func:`shortest_path` — convenience wrapper returning a single
+  :class:`~repro.graph.paths.Path`.
+* :func:`shortest_path_tree` — full predecessor tree towards a destination
+  (used by the FindKSP baseline).
+* :func:`k_lightest_paths_by_vfrags` — a Dijkstra-like enumeration of the
+  paths with the fewest *virtual fragments* between two vertices, used to
+  compute the DTLP bounding paths (Section 3.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..graph.errors import PathNotFoundError, VertexNotFoundError
+from ..graph.paths import Path
+
+__all__ = [
+    "iter_neighbors",
+    "dijkstra",
+    "shortest_path",
+    "shortest_distance",
+    "shortest_path_tree",
+    "k_lightest_paths_by_vfrags",
+    "lightest_vfrag_paths_from_source",
+]
+
+NeighborFn = Callable[[int], Iterable[Tuple[int, float]]]
+
+
+def iter_neighbors(graph, vertex: int) -> Iterator[Tuple[int, float]]:
+    """Yield ``(neighbour, weight)`` pairs for ``vertex`` on any graph-like object.
+
+    Accepts both mapping-style ``neighbors`` (``DynamicGraph``) and
+    iterator-style ``neighbors`` (``Subgraph``).
+    """
+    result = graph.neighbors(vertex)
+    if isinstance(result, Mapping):
+        return iter(result.items())
+    return iter(result)
+
+
+def dijkstra(
+    graph,
+    source: int,
+    target: Optional[int] = None,
+    allowed_vertices: Optional[Set[int]] = None,
+    banned_vertices: Optional[Set[int]] = None,
+    banned_edges: Optional[Set[Tuple[int, int]]] = None,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Run Dijkstra's algorithm from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        Any graph-like object with ``neighbors`` (see :func:`iter_neighbors`).
+    source:
+        Start vertex.
+    target:
+        Optional target; when given the search stops as soon as the target is
+        settled, which is the common case in Yen's algorithm.
+    allowed_vertices:
+        When given, the search never leaves this vertex set.
+    banned_vertices:
+        Vertices that may not be visited (used by Yen's spur searches).
+    banned_edges:
+        Directed edge pairs ``(u, v)`` that may not be traversed.  For
+        undirected graphs callers should ban both orientations.
+
+    Returns
+    -------
+    (distances, predecessors)
+        ``distances`` maps every settled vertex to its shortest distance from
+        ``source``; ``predecessors`` maps each settled vertex (except the
+        source) to the previous vertex on a shortest path.
+    """
+    distances: Dict[int, float] = {source: 0.0}
+    predecessors: Dict[int, int] = {}
+    visited: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    banned_vertices = banned_vertices or set()
+    banned_edges = banned_edges or set()
+
+    if source in banned_vertices:
+        return {}, {}
+
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in visited:
+            continue
+        visited.add(vertex)
+        if target is not None and vertex == target:
+            break
+        for neighbor, weight in iter_neighbors(graph, vertex):
+            if neighbor in visited or neighbor in banned_vertices:
+                continue
+            if allowed_vertices is not None and neighbor not in allowed_vertices:
+                continue
+            if (vertex, neighbor) in banned_edges:
+                continue
+            candidate = distance + weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = vertex
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances, predecessors
+
+
+def _reconstruct(predecessors: Mapping[int, int], source: int, target: int) -> Tuple[int, ...]:
+    """Rebuild the vertex sequence from ``source`` to ``target``."""
+    vertices = [target]
+    while vertices[-1] != source:
+        vertices.append(predecessors[vertices[-1]])
+    vertices.reverse()
+    return tuple(vertices)
+
+
+def shortest_path(
+    graph,
+    source: int,
+    target: int,
+    allowed_vertices: Optional[Set[int]] = None,
+) -> Path:
+    """Return the shortest path from ``source`` to ``target``.
+
+    Raises :class:`~repro.graph.errors.PathNotFoundError` when the target is
+    unreachable.
+    """
+    distances, predecessors = dijkstra(
+        graph, source, target=target, allowed_vertices=allowed_vertices
+    )
+    if target not in distances:
+        raise PathNotFoundError(source, target)
+    if source == target:
+        return Path(0.0, (source,))
+    return Path(distances[target], _reconstruct(predecessors, source, target))
+
+
+def shortest_distance(graph, source: int, target: int) -> float:
+    """Return only the shortest distance from ``source`` to ``target``."""
+    return shortest_path(graph, source, target).distance
+
+
+def shortest_path_tree(graph, destination: int) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Shortest-path tree towards ``destination``.
+
+    Returns ``(distance_to_destination, successor)`` for every vertex that can
+    reach the destination.  For undirected graphs this is a plain Dijkstra
+    from the destination; for directed graphs callers should pass the reverse
+    graph.  The FindKSP baseline uses the tree both to guide deviations and to
+    lower-bound candidate path lengths.
+    """
+    distances, predecessors = dijkstra(graph, destination)
+    successors = {vertex: parent for vertex, parent in predecessors.items()}
+    return distances, successors
+
+
+def lightest_vfrag_paths_from_source(
+    subgraph,
+    source: int,
+    max_distinct_counts: int,
+    label_slack: int = 2,
+    labels_per_count: int = 2,
+    max_expansions: int = 500_000,
+) -> Dict[int, List[Tuple[int, Tuple[int, ...]]]]:
+    """Simple paths with the smallest distinct vfrag counts from one source.
+
+    This is the bounding-path search of Section 3.4 run from a single source
+    boundary vertex towards *all* other vertices of the subgraph at once — a
+    key efficiency lever of the index build, because a subgraph with ``Nb``
+    boundary vertices then needs ``Nb`` searches instead of ``Nb^2``.
+
+    The search is a multi-label Dijkstra on vfrag counts: each vertex accepts
+    up to ``max_distinct_counts + label_slack`` distinct count values, with at
+    most ``labels_per_count`` concrete labels per count (keeping more than one
+    avoids the case where the single kept witness of a tied count is a dead
+    end that cannot be extended into a simple path).  A label carries its full
+    vertex sequence so loops are excluded (bounding paths must be simple
+    paths).  The label caps make the search polynomial; they can in principle
+    miss a distinct count at a far target, which only makes the resulting
+    lower bound slightly looser, never incorrect.
+
+    Parameters
+    ----------
+    subgraph:
+        A graph-like object also exposing ``vfrag_count(u, v)``.
+    source:
+        The source vertex.
+    max_distinct_counts:
+        The paper's ``xi``: how many distinct vfrag counts to keep per target.
+    label_slack:
+        Extra distinct counts kept at intermediate vertices to reduce pruning
+        loss.
+    labels_per_count:
+        Number of concrete labels expanded per (vertex, count) pair.
+    max_expansions:
+        Safety cap on heap pops.
+
+    Returns
+    -------
+    dict mapping target vertex to a list of ``(vfrag_count, vertex_sequence)``
+    sorted by vfrag count (at most ``max_distinct_counts`` entries, distinct
+    counts, simple paths only).  The source itself is not included.
+    """
+    if max_distinct_counts <= 0:
+        raise ValueError("max_distinct_counts must be positive")
+    labels_per_vertex = max_distinct_counts + max(0, label_slack)
+    labels_per_count = max(1, labels_per_count)
+    # vertex -> {count: number of accepted labels with that count}
+    accepted_counts: Dict[int, Dict[int, int]] = {}
+    results: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
+    recorded_counts: Dict[int, Set[int]] = {}
+    counter = itertools.count()
+    heap: List[Tuple[int, int, Tuple[int, ...]]] = [(0, next(counter), (source,))]
+    expansions = 0
+
+    while heap and expansions < max_expansions:
+        vfrags, _, vertices = heapq.heappop(heap)
+        expansions += 1
+        vertex = vertices[-1]
+        counts = accepted_counts.setdefault(vertex, {})
+        if counts.get(vfrags, 0) >= labels_per_count:
+            continue
+        if vfrags not in counts and len(counts) >= labels_per_vertex:
+            continue
+        counts[vfrags] = counts.get(vfrags, 0) + 1
+        if vertex != source:
+            recorded = recorded_counts.setdefault(vertex, set())
+            if vfrags not in recorded and len(recorded) < max_distinct_counts:
+                recorded.add(vfrags)
+                results.setdefault(vertex, []).append((vfrags, vertices))
+        for neighbor, _weight in iter_neighbors(subgraph, vertex):
+            if neighbor in vertices:
+                continue
+            step = subgraph.vfrag_count(vertex, neighbor)
+            next_count = vfrags + step
+            neighbor_counts = accepted_counts.get(neighbor)
+            if neighbor_counts is not None:
+                if neighbor_counts.get(next_count, 0) >= labels_per_count:
+                    continue
+                if (
+                    next_count not in neighbor_counts
+                    and len(neighbor_counts) >= labels_per_vertex
+                ):
+                    continue
+            heapq.heappush(heap, (next_count, next(counter), vertices + (neighbor,)))
+    return {target: paths for target, paths in results.items() if paths}
+
+
+def k_lightest_paths_by_vfrags(
+    subgraph,
+    source: int,
+    target: int,
+    max_distinct_counts: int,
+    max_paths_per_count: int = 1,
+    max_expansions: int = 500_000,
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Simple paths from ``source`` to ``target`` with the smallest vfrag counts.
+
+    Pairwise variant of :func:`lightest_vfrag_paths_from_source`, kept for
+    API symmetry and tests.  ``max_paths_per_count`` is accepted for backward
+    compatibility; the label search keeps one witness per distinct count.
+
+    Returns a list of ``(vfrag_count, vertex_sequence)`` sorted by vfrag count.
+    """
+    if source == target:
+        return [(0, (source,))]
+    per_target = lightest_vfrag_paths_from_source(
+        subgraph,
+        source,
+        max_distinct_counts=max_distinct_counts,
+        max_expansions=max_expansions,
+    )
+    return per_target.get(target, [])

@@ -1,0 +1,197 @@
+"""Yen's k-shortest simple paths algorithm.
+
+Yen's algorithm is both a baseline in the paper's evaluation and the
+subroutine KSP-DG uses to compute partial k shortest paths inside a subgraph
+(Algorithm 4, line 6) and reference paths on the skeleton graph.
+
+The implementation follows the classical deviation scheme: the (i+1)-th
+shortest path is found by considering, for every prefix ("root") of the i-th
+shortest path, the best "spur" path that leaves the root at its last vertex
+while avoiding the edges used by previously found paths sharing that root.
+
+Two interfaces are provided:
+
+* :func:`yen_k_shortest_paths` — compute the k shortest simple paths at once.
+* :class:`LazyYen` — an iterator that produces successive shortest paths on
+  demand; KSP-DG uses it to enumerate reference paths one per iteration
+  without fixing ``k`` in advance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..graph.errors import PathNotFoundError, QueryError
+from ..graph.paths import Path
+from .dijkstra import dijkstra, iter_neighbors, shortest_path
+
+__all__ = ["yen_k_shortest_paths", "LazyYen"]
+
+
+def _path_weight(graph, vertices: Tuple[int, ...]) -> float:
+    """Distance of ``vertices`` on ``graph`` (graph-like object)."""
+    total = 0.0
+    for index in range(len(vertices) - 1):
+        u, v = vertices[index], vertices[index + 1]
+        found = False
+        for neighbor, weight in iter_neighbors(graph, u):
+            if neighbor == v:
+                total += weight
+                found = True
+                break
+        if not found:
+            raise PathNotFoundError(u, v)
+    return total
+
+
+class LazyYen:
+    """Lazily enumerate the shortest simple paths between two vertices.
+
+    Each call to :meth:`next_path` returns the next shortest simple path, or
+    raises :class:`StopIteration` when no further simple path exists.  The
+    enumerator is deterministic: ties are broken by vertex sequence.
+
+    Parameters
+    ----------
+    graph:
+        Graph-like object (``DynamicGraph``, ``Subgraph`` or ``SkeletonGraph``).
+    source, target:
+        Query endpoints.
+    allowed_vertices:
+        Optional vertex set the paths must stay within.
+    """
+
+    def __init__(
+        self,
+        graph,
+        source: int,
+        target: int,
+        allowed_vertices: Optional[Set[int]] = None,
+    ) -> None:
+        self._graph = graph
+        self._source = source
+        self._target = target
+        self._allowed = allowed_vertices
+        self._found: List[Path] = []
+        self._candidates: List[Tuple[float, Tuple[int, ...]]] = []
+        self._candidate_set: Set[Tuple[int, ...]] = set()
+        # Lawler's optimisation: remember at which prefix index each found
+        # path deviated from its parent, so new deviations only need to be
+        # generated from that index onwards.
+        self._deviation_index: dict = {}
+        self._exhausted = False
+
+    @property
+    def found_paths(self) -> List[Path]:
+        """Paths produced so far, in increasing distance order."""
+        return list(self._found)
+
+    def __iter__(self) -> Iterator[Path]:
+        return self
+
+    def __next__(self) -> Path:
+        return self.next_path()
+
+    def next_path(self) -> Path:
+        """Return the next shortest simple path.
+
+        Raises
+        ------
+        StopIteration
+            When every simple path between the endpoints has been produced.
+        PathNotFoundError
+            When the endpoints are disconnected (only on the first call).
+        """
+        if self._exhausted:
+            raise StopIteration
+        if not self._found:
+            first = shortest_path(
+                self._graph, self._source, self._target, allowed_vertices=self._allowed
+            )
+            self._found.append(first)
+            return first
+
+        previous = self._found[-1]
+        self._generate_candidates_from(previous)
+        found_vertices = {path.vertices for path in self._found}
+        while self._candidates:
+            distance, vertices = heapq.heappop(self._candidates)
+            if vertices in found_vertices:
+                continue
+            path = Path(distance, vertices)
+            self._found.append(path)
+            return path
+        self._exhausted = True
+        raise StopIteration
+
+    def _generate_candidates_from(self, previous: Path) -> None:
+        """Generate deviation candidates from the most recent result path.
+
+        Applies Lawler's optimisation: deviations at prefix indexes before the
+        point where ``previous`` itself deviated from its parent were already
+        generated when the parent was expanded, so they are skipped.
+        """
+        previous_vertices = previous.vertices
+        first_spur_index = self._deviation_index.get(previous.vertices, 0)
+        for spur_index in range(first_spur_index, len(previous_vertices) - 1):
+            root = previous_vertices[: spur_index + 1]
+            spur_vertex = previous_vertices[spur_index]
+            banned_edges: Set[Tuple[int, int]] = set()
+            for path in self._found:
+                if path.vertices[: spur_index + 1] == root and len(path.vertices) > spur_index + 1:
+                    u, v = path.vertices[spur_index], path.vertices[spur_index + 1]
+                    banned_edges.add((u, v))
+                    banned_edges.add((v, u))
+            banned_vertices = set(root[:-1])
+            distances, predecessors = dijkstra(
+                self._graph,
+                spur_vertex,
+                target=self._target,
+                allowed_vertices=self._allowed,
+                banned_vertices=banned_vertices,
+                banned_edges=banned_edges,
+            )
+            if self._target not in distances:
+                continue
+            spur_vertices = [self._target]
+            while spur_vertices[-1] != spur_vertex:
+                spur_vertices.append(predecessors[spur_vertices[-1]])
+            spur_vertices.reverse()
+            total_vertices = root[:-1] + tuple(spur_vertices)
+            if len(set(total_vertices)) != len(total_vertices):
+                continue
+            if total_vertices in self._candidate_set:
+                continue
+            root_distance = _path_weight(self._graph, root)
+            total_distance = root_distance + distances[self._target]
+            self._candidate_set.add(total_vertices)
+            self._deviation_index.setdefault(total_vertices, spur_index)
+            heapq.heappush(self._candidates, (total_distance, total_vertices))
+
+
+def yen_k_shortest_paths(
+    graph,
+    source: int,
+    target: int,
+    k: int,
+    allowed_vertices: Optional[Set[int]] = None,
+) -> List[Path]:
+    """Compute the ``k`` shortest simple paths from ``source`` to ``target``.
+
+    Fewer than ``k`` paths are returned when the graph does not contain ``k``
+    distinct simple paths between the endpoints.  Raises
+    :class:`~repro.graph.errors.PathNotFoundError` when the endpoints are
+    disconnected and :class:`~repro.graph.errors.QueryError` for ``k <= 0``.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    enumerator = LazyYen(graph, source, target, allowed_vertices=allowed_vertices)
+    paths: List[Path] = []
+    for _ in range(k):
+        try:
+            paths.append(enumerator.next_path())
+        except StopIteration:
+            break
+    return paths

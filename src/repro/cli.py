@@ -1,0 +1,176 @@
+"""Command-line interface for the library.
+
+The CLI exposes the main workflows without writing Python code::
+
+    python -m repro generate --dataset NY --out ny.gr
+    python -m repro stats    --dataset NY --z 48 --xi 5
+    python -m repro query    --dataset NY --source 0 --target 200 --k 3
+    python -m repro bench    --dataset NY --num-queries 20 --workers 4
+
+``generate`` writes a synthetic road network in DIMACS ``.gr`` format;
+``stats`` builds a DTLP index and prints its statistics; ``query`` answers a
+single KSP query (and cross-checks it against Yen's algorithm); ``bench``
+runs a query batch on the simulated cluster and prints the cost report.
+Every command accepts either ``--dataset`` (one of NY, COL, FLA, CUSA, a
+scaled synthetic analogue) or ``--gr`` (path to a DIMACS file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .algorithms import yen_k_shortest_paths
+from .bench.reporting import format_table
+from .core import DTLP, DTLPConfig, KSPDG
+from .distributed import StormTopology
+from .dynamics import TrafficModel
+from .graph import DynamicGraph, dataset, read_gr, write_gr
+from .workloads import QueryGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KSP-DG / DTLP: k shortest path queries over dynamic road networks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", choices=["NY", "COL", "FLA", "CUSA"],
+                         help="generate a scaled synthetic analogue of a paper dataset")
+        sub.add_argument("--gr", help="path to a DIMACS .gr file to load instead")
+        sub.add_argument("--scale", type=float, default=1.0,
+                         help="scale factor for the synthetic dataset (default 1.0)")
+        sub.add_argument("--seed", type=int, default=7, help="random seed")
+        sub.add_argument("--directed", action="store_true",
+                         help="treat the network as a directed graph")
+
+    generate = subparsers.add_parser("generate", help="write a synthetic network to a .gr file")
+    add_graph_arguments(generate)
+    generate.add_argument("--out", required=True, help="output .gr path")
+
+    stats = subparsers.add_parser("stats", help="build DTLP and print index statistics")
+    add_graph_arguments(stats)
+    stats.add_argument("--z", type=int, default=48, help="subgraph size threshold")
+    stats.add_argument("--xi", type=int, default=5, help="bounding paths per boundary pair")
+
+    query = subparsers.add_parser("query", help="answer one KSP query")
+    add_graph_arguments(query)
+    query.add_argument("--z", type=int, default=48)
+    query.add_argument("--xi", type=int, default=3)
+    query.add_argument("--source", type=int, required=True)
+    query.add_argument("--target", type=int, required=True)
+    query.add_argument("--k", type=int, default=3)
+    query.add_argument("--verify", action="store_true",
+                       help="cross-check the answer against Yen's algorithm")
+
+    bench = subparsers.add_parser("bench", help="run a query batch on the simulated cluster")
+    add_graph_arguments(bench)
+    bench.add_argument("--z", type=int, default=48)
+    bench.add_argument("--xi", type=int, default=3)
+    bench.add_argument("--k", type=int, default=2)
+    bench.add_argument("--num-queries", type=int, default=20)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--alpha", type=float, default=0.0,
+                       help="apply one traffic snapshot changing this fraction of edges first")
+    bench.add_argument("--tau", type=float, default=0.3)
+
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> DynamicGraph:
+    """Load or generate the graph requested by the common CLI arguments."""
+    if args.gr:
+        return read_gr(args.gr, directed=args.directed)
+    if args.dataset:
+        return dataset(args.dataset, seed=args.seed, directed=args.directed, scale=args.scale)
+    raise SystemExit("one of --dataset or --gr is required")
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    write_gr(graph, args.out)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+    stats = dtlp.statistics()
+    rows = [[key, value] for key, value in stats.as_dict().items()]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+    engine = KSPDG(dtlp)
+    result = engine.query(args.source, args.target, args.k)
+    if not result.paths:
+        print(f"no path from {args.source} to {args.target}")
+        return 1
+    rows = [
+        [rank, round(path.distance, 4), len(path), " ".join(str(v) for v in path.vertices)]
+        for rank, path in enumerate(result.paths, start=1)
+    ]
+    print(format_table(["rank", "distance", "#vertices", "path"], rows))
+    print(f"iterations: {result.iterations}, elapsed: {result.elapsed_seconds:.4f}s")
+    if args.verify:
+        expected = yen_k_shortest_paths(graph, args.source, args.target, args.k)
+        matches = [round(d, 6) for d in result.distances] == [
+            round(p.distance, 6) for p in expected
+        ]
+        print(f"verification against Yen's algorithm: {'OK' if matches else 'MISMATCH'}")
+        if not matches:
+            return 2
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+    if args.alpha > 0:
+        graph.add_listener(dtlp.handle_updates)
+        TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
+    topology = StormTopology(dtlp, num_workers=args.workers)
+    queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
+        args.num_queries, k=args.k
+    )
+    report = topology.run_queries(queries)
+    rows = [
+        ["queries", len(queries)],
+        ["workers", args.workers],
+        ["parallel time (s)", round(report.makespan_seconds, 4)],
+        ["total compute (s)", round(report.total_compute_seconds, 4)],
+        ["communication (vertex units)", report.communication_units],
+        ["mean iterations", round(report.mean_iterations, 2)],
+        ["busy-time spread", round(report.load_balance["busy_spread"], 4)],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "stats": _command_stats,
+    "query": _command_query,
+    "bench": _command_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

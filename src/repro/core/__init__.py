@@ -1,0 +1,35 @@
+"""Core contribution of the paper: the DTLP index and the KSP-DG algorithm."""
+
+from .bounding_paths import BoundingPath, compute_bounding_paths
+from .dtlp import DTLP, DTLPConfig, DTLPStatistics
+from .ep_index import EPIndex
+from .ksp_dg import KSPDG, KSPDGQuery, KSPResult
+from .lsh import MinHasher, jaccard_similarity, lsh_group_edges
+from .mfp_tree import MFPForest, MFPNode, MFPTree, build_mfp_forest
+from .skeleton import SkeletonGraph
+from .subgraph_index import SubgraphIndex
+from .variants import constrained_ksp, diverse_ksp, path_overlap
+
+__all__ = [
+    "BoundingPath",
+    "compute_bounding_paths",
+    "DTLP",
+    "DTLPConfig",
+    "DTLPStatistics",
+    "EPIndex",
+    "KSPDG",
+    "KSPDGQuery",
+    "KSPResult",
+    "MinHasher",
+    "jaccard_similarity",
+    "lsh_group_edges",
+    "MFPForest",
+    "MFPNode",
+    "MFPTree",
+    "build_mfp_forest",
+    "SkeletonGraph",
+    "SubgraphIndex",
+    "constrained_ksp",
+    "diverse_ksp",
+    "path_overlap",
+]

@@ -1,0 +1,382 @@
+"""DTLP: the Distributed Two-Level Path index.
+
+This module ties together the pieces of Sections 3 and 4 of the paper:
+
+* the graph is partitioned into subgraphs of at most ``z`` vertices
+  (:mod:`repro.graph.partition`);
+* each subgraph receives a first-level :class:`~repro.core.subgraph_index.SubgraphIndex`
+  holding bounding paths, the EP-Index and lower-bound distances;
+* the second level is the :class:`~repro.core.skeleton.SkeletonGraph` whose
+  edge weights are the minimum lower bound distances across subgraphs;
+* optionally, each subgraph's EP-Index is compressed with MinHash/LSH
+  grouping plus MFP-trees (Section 4).
+
+The facade also implements the maintenance path of Algorithm 2: it can be
+registered as a listener on the dynamic graph (``graph.add_listener(dtlp.handle_updates)``)
+so that every batch of weight updates refreshes the affected bounding-path
+distances and the skeleton-graph edge weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..graph.errors import IndexStateError
+from ..graph.graph import DynamicGraph, WeightUpdate, edge_key
+from ..graph.partition import GraphPartition, partition_graph
+from .lsh import lsh_group_edges
+from .mfp_tree import MFPForest, build_mfp_forest
+from .skeleton import SkeletonGraph
+from .subgraph_index import SubgraphIndex
+
+__all__ = ["DTLPConfig", "DTLPStatistics", "DTLP"]
+
+
+@dataclass(frozen=True)
+class DTLPConfig:
+    """Configuration of a DTLP index.
+
+    Attributes
+    ----------
+    z:
+        Maximum number of vertices per subgraph (the paper's ``z``).
+    xi:
+        Number of bounding paths (distinct vfrag counts) per boundary pair
+        (the paper's ``xi``).
+    directed:
+        Build the directed variant of the index (two bounding-path sets per
+        boundary pair, a directed skeleton graph).
+    build_mfp_trees:
+        Whether to build the LSH/MFP-tree compression of the EP-Index.
+        Optional because the compression affects memory, not correctness.
+    lsh_num_hashes, lsh_num_bands:
+        MinHash/LSH parameters of Section 4.1.
+    max_paths_per_count, max_expansions:
+        Bounding-path search limits; see
+        :func:`repro.core.bounding_paths.compute_bounding_paths`.
+    """
+
+    z: int = 200
+    xi: int = 5
+    directed: bool = False
+    build_mfp_trees: bool = False
+    lsh_num_hashes: int = 16
+    lsh_num_bands: int = 4
+    max_paths_per_count: int = 4
+    max_expansions: int = 20_000
+
+
+@dataclass
+class DTLPStatistics:
+    """Statistics reported by :meth:`DTLP.statistics`.
+
+    These map one-to-one onto the columns reported in Table 1 and the series
+    plotted in Figures 15-23 of the paper.
+    """
+
+    num_vertices: int = 0
+    num_edges: int = 0
+    num_subgraphs: int = 0
+    num_subgraphs_with_many_boundaries: int = 0
+    num_boundary_vertices: int = 0
+    skeleton_vertices: int = 0
+    skeleton_edges: int = 0
+    num_bounding_paths: int = 0
+    ep_index_entries: int = 0
+    ep_index_bytes: int = 0
+    skeleton_bytes: int = 0
+    mfp_nodes: int = 0
+    mfp_bytes: int = 0
+    build_seconds: float = 0.0
+    last_maintenance_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary (for reports)."""
+        return dict(self.__dict__)
+
+
+class DTLP:
+    """The Distributed Two-Level Path index over a dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph to index.
+    config:
+        Index parameters; see :class:`DTLPConfig`.
+    partition:
+        Optional pre-computed partition.  When omitted the graph is
+        partitioned with :func:`repro.graph.partition.partition_graph`
+        using ``config.z``.
+
+    Examples
+    --------
+    >>> from repro.graph import road_network
+    >>> from repro.core import DTLP, DTLPConfig
+    >>> graph = road_network(8, 8, seed=1)
+    >>> dtlp = DTLP(graph, DTLPConfig(z=12, xi=3)).build()
+    >>> dtlp.skeleton_graph.num_vertices > 0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        config: Optional[DTLPConfig] = None,
+        partition: Optional[GraphPartition] = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or DTLPConfig()
+        if self._config.directed != graph.directed:
+            # Directedness follows the graph: a directed graph always uses
+            # the directed index and vice versa.
+            self._config = DTLPConfig(
+                z=self._config.z,
+                xi=self._config.xi,
+                directed=graph.directed,
+                build_mfp_trees=self._config.build_mfp_trees,
+                lsh_num_hashes=self._config.lsh_num_hashes,
+                lsh_num_bands=self._config.lsh_num_bands,
+                max_paths_per_count=self._config.max_paths_per_count,
+                max_expansions=self._config.max_expansions,
+            )
+        self._partition = partition
+        self._subgraph_indexes: Dict[int, SubgraphIndex] = {}
+        self._skeleton = SkeletonGraph(directed=self._config.directed)
+        self._mfp_forests: Dict[int, MFPForest] = {}
+        self._built = False
+        self._build_seconds = 0.0
+        self._last_maintenance_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The indexed graph."""
+        return self._graph
+
+    @property
+    def config(self) -> DTLPConfig:
+        """The index configuration."""
+        return self._config
+
+    @property
+    def partition(self) -> GraphPartition:
+        """The graph partition underlying the index."""
+        if self._partition is None:
+            raise IndexStateError("DTLP.build() must run before accessing the partition")
+        return self._partition
+
+    @property
+    def skeleton_graph(self) -> SkeletonGraph:
+        """The second-level skeleton graph ``G_lambda``."""
+        if not self._built:
+            raise IndexStateError("DTLP.build() must run before accessing the skeleton graph")
+        return self._skeleton
+
+    @property
+    def built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock duration of the last :meth:`build` call."""
+        return self._build_seconds
+
+    @property
+    def last_maintenance_seconds(self) -> float:
+        """Wall-clock duration of the last :meth:`handle_updates` call."""
+        return self._last_maintenance_seconds
+
+    def subgraph_index(self, subgraph_id: int) -> SubgraphIndex:
+        """The first-level index of one subgraph."""
+        try:
+            return self._subgraph_indexes[subgraph_id]
+        except KeyError:
+            raise IndexStateError(
+                f"no index for subgraph {subgraph_id}; was DTLP.build() called?"
+            ) from None
+
+    def subgraph_indexes(self) -> Mapping[int, SubgraphIndex]:
+        """All per-subgraph indexes keyed by subgraph id."""
+        return dict(self._subgraph_indexes)
+
+    def mfp_forest(self, subgraph_id: int) -> Optional[MFPForest]:
+        """The MFP-forest of one subgraph (``None`` when compression is off)."""
+        return self._mfp_forests.get(subgraph_id)
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> "DTLP":
+        """Construct the full two-level index (Algorithm 1)."""
+        started = time.perf_counter()
+        if self._partition is None:
+            self._partition = partition_graph(self._graph, self._config.z)
+        self._subgraph_indexes.clear()
+        for subgraph in self._partition.subgraphs:
+            index = SubgraphIndex(
+                subgraph,
+                xi=self._config.xi,
+                directed=self._config.directed,
+                max_paths_per_count=self._config.max_paths_per_count,
+                max_expansions=self._config.max_expansions,
+            ).build()
+            self._subgraph_indexes[subgraph.subgraph_id] = index
+        self._rebuild_skeleton()
+        if self._config.build_mfp_trees:
+            self._build_mfp_forests()
+        self._built = True
+        self._build_seconds = time.perf_counter() - started
+        return self
+
+    def _rebuild_skeleton(self) -> None:
+        """Recompute every skeleton edge from the per-subgraph lower bounds."""
+        skeleton = SkeletonGraph(directed=self._config.directed)
+        assert self._partition is not None
+        for vertex in self._partition.boundary_vertices:
+            skeleton.add_vertex(vertex)
+        for index in self._subgraph_indexes.values():
+            for (source, target), value in index.lower_bound_distances().items():
+                skeleton.update_edge_minimum(source, target, value)
+        self._skeleton = skeleton
+
+    def _build_mfp_forests(self) -> None:
+        """Build the LSH/MFP-tree compression for every subgraph."""
+        self._mfp_forests.clear()
+        for subgraph_id, index in self._subgraph_indexes.items():
+            path_sets = index.ep_index.path_sets()
+            if not path_sets:
+                continue
+            groups = lsh_group_edges(
+                path_sets,
+                num_hashes=self._config.lsh_num_hashes,
+                num_bands=self._config.lsh_num_bands,
+            )
+            self._mfp_forests[subgraph_id] = build_mfp_forest(path_sets, groups)
+
+    # ------------------------------------------------------------------
+    # maintenance (Algorithm 2)
+    # ------------------------------------------------------------------
+    def handle_updates(self, updates: Sequence[WeightUpdate]) -> float:
+        """Refresh the index after a batch of edge-weight updates.
+
+        Can be registered directly as a graph listener::
+
+            graph.add_listener(dtlp.handle_updates)
+
+        Returns the wall-clock time spent, which the maintenance-cost
+        experiments (Figures 19-23) report.
+        """
+        if not self._built:
+            raise IndexStateError("DTLP.build() must run before updates are applied")
+        assert self._partition is not None
+        started = time.perf_counter()
+        updates_by_subgraph: Dict[int, List[WeightUpdate]] = {}
+        for update in updates:
+            owner = self._partition.owner_of_edge(update.u, update.v)
+            updates_by_subgraph.setdefault(owner, []).append(update)
+        affected_subgraphs: Set[int] = set()
+        for subgraph_id, subgraph_updates in updates_by_subgraph.items():
+            index = self._subgraph_indexes[subgraph_id]
+            index.apply_updates(subgraph_updates)
+            affected_subgraphs.add(subgraph_id)
+        # Refresh skeleton edges of affected subgraphs.  Because the skeleton
+        # edge weight is a minimum over subgraphs, edges incident to affected
+        # pairs are recomputed from every subgraph containing the pair.
+        self._refresh_skeleton_for_subgraphs(affected_subgraphs)
+        elapsed = time.perf_counter() - started
+        self._last_maintenance_seconds = elapsed
+        return elapsed
+
+    def _refresh_skeleton_for_subgraphs(self, subgraph_ids: Set[int]) -> None:
+        """Recompute skeleton edges whose pairs live in the given subgraphs."""
+        assert self._partition is not None
+        pairs: Set[Tuple[int, int]] = set()
+        for subgraph_id in subgraph_ids:
+            index = self._subgraph_indexes[subgraph_id]
+            pairs.update(index.boundary_pairs())
+        for source, target in pairs:
+            best: Optional[float] = None
+            for owner in self._partition.subgraphs_containing_pair(source, target):
+                value = self._subgraph_indexes[owner].lower_bound_distance(source, target)
+                if value is None:
+                    continue
+                if best is None or value < best:
+                    best = value
+            if best is not None:
+                self._skeleton.set_edge(source, target, best)
+
+    # ------------------------------------------------------------------
+    # queries used by KSP-DG
+    # ------------------------------------------------------------------
+    def minimum_lower_bound_distance(self, source: int, target: int) -> Optional[float]:
+        """Minimum lower bound distance between two boundary vertices (MBD).
+
+        Returns ``None`` when the vertices never co-occur in a subgraph.
+        """
+        if not self._built:
+            raise IndexStateError("DTLP.build() must run before queries")
+        if self._skeleton.has_edge(source, target):
+            return self._skeleton.weight(source, target)
+        return None
+
+    def attachment_edges(self, vertex: int) -> Dict[int, float]:
+        """Lower-bound edges connecting ``vertex`` to the skeleton graph.
+
+        For a boundary vertex the result is empty (it is already part of the
+        skeleton graph).  For a non-boundary vertex the result maps each
+        boundary vertex of the vertex's subgraph to a lower bound of the
+        within-subgraph distance, as required by Section 5.3.
+        """
+        assert self._partition is not None
+        if self._partition.is_boundary(vertex):
+            return {}
+        edges: Dict[int, float] = {}
+        for subgraph_id in self._partition.subgraphs_of_vertex(vertex):
+            index = self._subgraph_indexes[subgraph_id]
+            for boundary, distance in index.lower_bounds_from_vertex(vertex).items():
+                current = edges.get(boundary)
+                if current is None or distance < current:
+                    edges[boundary] = distance
+        return edges
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> DTLPStatistics:
+        """Return the size and cost statistics of the index."""
+        if not self._built:
+            raise IndexStateError("DTLP.build() must run before statistics are read")
+        assert self._partition is not None
+        stats = DTLPStatistics()
+        stats.num_vertices = self._graph.num_vertices
+        stats.num_edges = self._graph.num_edges
+        stats.num_subgraphs = self._partition.num_subgraphs
+        stats.num_subgraphs_with_many_boundaries = (
+            self._partition.subgraphs_with_min_boundary(5)
+        )
+        stats.num_boundary_vertices = len(self._partition.boundary_vertices)
+        stats.skeleton_vertices = self._skeleton.num_vertices
+        stats.skeleton_edges = self._skeleton.num_edges
+        stats.num_bounding_paths = sum(
+            index.num_bounding_paths() for index in self._subgraph_indexes.values()
+        )
+        stats.ep_index_entries = sum(
+            index.ep_index.num_entries() for index in self._subgraph_indexes.values()
+        )
+        stats.ep_index_bytes = sum(
+            index.memory_estimate_bytes() for index in self._subgraph_indexes.values()
+        )
+        stats.skeleton_bytes = self._skeleton.memory_estimate_bytes()
+        stats.mfp_nodes = sum(forest.num_nodes() for forest in self._mfp_forests.values())
+        stats.mfp_bytes = sum(
+            forest.memory_estimate_bytes() for forest in self._mfp_forests.values()
+        )
+        stats.build_seconds = self._build_seconds
+        stats.last_maintenance_seconds = self._last_maintenance_seconds
+        return stats

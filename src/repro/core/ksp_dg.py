@@ -1,0 +1,353 @@
+"""KSP-DG: the filter-and-refine k-shortest-path query algorithm.
+
+Section 5 of the paper describes KSP-DG, which answers a query ``q(vs, vt)``
+iteratively:
+
+1. *Filter* — compute the next-shortest *reference path* between the
+   endpoints on the skeleton graph ``G_lambda``.  The reference path is a
+   sequence of boundary vertices; its distance is a lower bound of the
+   distance of every path in ``G`` that visits the same sequence (Lemma 2).
+2. *Refine* — for each pair of adjacent vertices on the reference path,
+   compute partial k shortest paths inside the subgraphs containing both
+   vertices (Yen's algorithm, Algorithm 4) and join them into *candidate*
+   complete paths, which update the running top-k list ``L``.
+3. Terminate when the k-th distance in ``L`` is no larger than the distance
+   of the next unexplored reference path (Theorem 3).
+
+The implementation keeps a per-query cache of partial k-shortest-path results
+keyed by adjacent-vertex pair — consecutive reference paths typically share
+many pairs, which the paper highlights as an important optimisation.
+
+Hooks (``on_reference_path``, ``on_partial``, ``on_merge``) let the simulated
+distributed runtime attribute the work of each phase to cluster workers
+without duplicating the algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.yen import LazyYen, yen_k_shortest_paths
+from ..graph.errors import PathNotFoundError, QueryError
+from ..graph.paths import Path, merge_paths
+from ..graph.partition import GraphPartition
+from .dtlp import DTLP
+from .skeleton import SkeletonGraph
+
+__all__ = ["KSPResult", "KSPDGQuery", "KSPDG"]
+
+
+@dataclass
+class KSPResult:
+    """Result of one KSP-DG query.
+
+    Attributes
+    ----------
+    source, target, k:
+        The query parameters.
+    paths:
+        The k shortest simple paths found, in ascending distance order.
+        May contain fewer than ``k`` paths when the graph does not have
+        ``k`` distinct simple paths between the endpoints.
+    iterations:
+        Number of filter/refine iterations executed (Figures 24-27).
+    reference_paths:
+        The reference paths examined, in order.
+    partial_computations:
+        Number of per-pair partial k-shortest-path computations performed
+        (cache misses); a proxy for refine-step work.
+    elapsed_seconds:
+        Wall-clock time of the whole query.
+    """
+
+    source: int
+    target: int
+    k: int
+    paths: List[Path] = field(default_factory=list)
+    iterations: int = 0
+    reference_paths: List[Path] = field(default_factory=list)
+    partial_computations: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def distances(self) -> List[float]:
+        """Distances of the result paths."""
+        return [path.distance for path in self.paths]
+
+
+# Hook signatures: (detail, elapsed_seconds)
+ReferenceHook = Callable[[Path, float], None]
+PartialHook = Callable[[int, Tuple[int, int], float], None]
+MergeHook = Callable[[float], None]
+
+
+class KSPDGQuery:
+    """State of a single KSP-DG query evaluation.
+
+    Instances are created by :class:`KSPDG`; the class is public because the
+    distributed runtime drives queries step by step through it.
+    """
+
+    def __init__(
+        self,
+        dtlp: DTLP,
+        source: int,
+        target: int,
+        k: int,
+        on_reference_path: Optional[ReferenceHook] = None,
+        on_partial: Optional[PartialHook] = None,
+        on_merge: Optional[MergeHook] = None,
+    ) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        self._dtlp = dtlp
+        self._partition: GraphPartition = dtlp.partition
+        self._graph = dtlp.graph
+        self._source = source
+        self._target = target
+        self._k = k
+        self._on_reference_path = on_reference_path
+        self._on_partial = on_partial
+        self._on_merge = on_merge
+        self._partial_cache: Dict[Tuple[int, int], List[Path]] = {}
+        self._partial_computations = 0
+        self._skeleton = self._augmented_skeleton()
+        self._reference_enumerator = LazyYen(self._skeleton, source, target)
+
+    # ------------------------------------------------------------------
+    # skeleton augmentation (Section 5.3)
+    # ------------------------------------------------------------------
+    def _augmented_skeleton(self) -> SkeletonGraph:
+        """Return the skeleton graph with the query endpoints attached."""
+        base = self._dtlp.skeleton_graph
+        attachments: Dict[int, Dict[int, float]] = {}
+        for endpoint in (self._source, self._target):
+            if not base.has_vertex(endpoint):
+                attachments[endpoint] = self._dtlp.attachment_edges(endpoint)
+        if not attachments:
+            return base
+        augmented = base.augmented(attachments)
+        # If both endpoints are non-boundary and share a subgraph, a direct
+        # skeleton edge between them is needed so that paths staying inside
+        # that subgraph are represented in the skeleton graph.
+        if self._source in attachments or self._target in attachments:
+            shared = set(
+                self._partition.subgraphs_of_vertex(self._source)
+            ) & set(self._partition.subgraphs_of_vertex(self._target))
+            if shared and self._source != self._target:
+                best: Optional[float] = None
+                for subgraph_id in shared:
+                    index = self._dtlp.subgraph_index(subgraph_id)
+                    bounds = index.lower_bounds_from_vertex(self._source)
+                    # lower_bounds_from_vertex returns distances to boundary
+                    # vertices only; compute the direct within-subgraph
+                    # distance explicitly.
+                    from ..algorithms.dijkstra import dijkstra
+
+                    distances, _ = dijkstra(
+                        self._partition.subgraph(subgraph_id), self._source,
+                        target=self._target,
+                    )
+                    if self._target in distances:
+                        value = distances[self._target]
+                        if best is None or value < best:
+                            best = value
+                if best is not None:
+                    augmented.update_edge_minimum(self._source, self._target, best)
+        return augmented
+
+    # ------------------------------------------------------------------
+    # filter step
+    # ------------------------------------------------------------------
+    def next_reference_path(self) -> Optional[Path]:
+        """Compute the next reference path on the skeleton graph, or ``None``."""
+        started = time.perf_counter()
+        try:
+            path = self._reference_enumerator.next_path()
+        except (StopIteration, PathNotFoundError):
+            return None
+        elapsed = time.perf_counter() - started
+        if self._on_reference_path is not None:
+            self._on_reference_path(path, elapsed)
+        return path
+
+    # ------------------------------------------------------------------
+    # refine step (Algorithm 4)
+    # ------------------------------------------------------------------
+    def candidate_ksps(self, reference_path: Path) -> List[Path]:
+        """Compute candidate k shortest paths matching ``reference_path``.
+
+        For every pair of adjacent vertices on the reference path the k
+        shortest partial paths are computed inside each subgraph containing
+        both vertices (results are cached across iterations), the best k per
+        pair are kept, and the per-pair lists are joined left to right while
+        keeping only the k shortest simple combinations.
+        """
+        vertices = reference_path.vertices
+        if len(vertices) < 2:
+            return []
+        merged: Optional[List[Path]] = None
+        for index in range(len(vertices) - 1):
+            pair = (vertices[index], vertices[index + 1])
+            partials = self._partial_ksps(pair)
+            if not partials:
+                return []
+            merge_start = time.perf_counter()
+            if merged is None:
+                merged = list(partials[: self._k])
+            else:
+                merged = self._join(merged, partials)
+            if self._on_merge is not None:
+                self._on_merge(time.perf_counter() - merge_start)
+            if not merged:
+                return []
+        return merged or []
+
+    def _partial_ksps(self, pair: Tuple[int, int]) -> List[Path]:
+        """Partial k shortest paths for one adjacent boundary-vertex pair."""
+        if pair in self._partial_cache:
+            return self._partial_cache[pair]
+        source, target = pair
+        subgraph_ids = self._partition.subgraphs_containing_pair(source, target)
+        collected: List[Path] = []
+        for subgraph_id in subgraph_ids:
+            subgraph = self._partition.subgraph(subgraph_id)
+            started = time.perf_counter()
+            try:
+                paths = yen_k_shortest_paths(subgraph, source, target, self._k)
+            except PathNotFoundError:
+                paths = []
+            elapsed = time.perf_counter() - started
+            self._partial_computations += 1
+            if self._on_partial is not None:
+                self._on_partial(subgraph_id, pair, elapsed)
+            collected.extend(paths)
+        collected.sort()
+        deduplicated: List[Path] = []
+        seen: Set[Tuple[int, ...]] = set()
+        for path in collected:
+            if path.vertices in seen:
+                continue
+            seen.add(path.vertices)
+            deduplicated.append(path)
+            if len(deduplicated) >= self._k:
+                break
+        self._partial_cache[pair] = deduplicated
+        return deduplicated
+
+    def _join(self, prefixes: List[Path], extensions: List[Path]) -> List[Path]:
+        """Join prefix paths with extension paths, keeping the k best simple results."""
+        candidates: List[Path] = []
+        for prefix in prefixes:
+            for extension in extensions:
+                joined_vertices = prefix.vertices + extension.vertices[1:]
+                if len(set(joined_vertices)) != len(joined_vertices):
+                    continue
+                candidates.append(merge_paths(prefix, extension))
+        candidates.sort()
+        return candidates[: self._k]
+
+    # ------------------------------------------------------------------
+    # full evaluation (Algorithm 3)
+    # ------------------------------------------------------------------
+    def run(self) -> KSPResult:
+        """Execute the full iterative algorithm and return the result."""
+        started = time.perf_counter()
+        result = KSPResult(source=self._source, target=self._target, k=self._k)
+        if self._source == self._target:
+            result.paths = [Path(0.0, (self._source,))]
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        top_paths: List[Path] = []
+        seen_vertices: Set[Tuple[int, ...]] = set()
+        reference = self.next_reference_path()
+        while reference is not None:
+            result.iterations += 1
+            result.reference_paths.append(reference)
+            candidates = self.candidate_ksps(reference)
+            for candidate in candidates:
+                if candidate.vertices in seen_vertices:
+                    continue
+                seen_vertices.add(candidate.vertices)
+                top_paths.append(candidate)
+            top_paths.sort()
+            del top_paths[self._k:]
+            next_reference = self.next_reference_path()
+            if next_reference is None:
+                break
+            kth_distance = (
+                top_paths[self._k - 1].distance
+                if len(top_paths) >= self._k
+                else float("inf")
+            )
+            if top_paths and kth_distance <= next_reference.distance:
+                # Termination condition of Theorem 3.
+                break
+            reference = next_reference
+        result.paths = top_paths
+        result.partial_computations = self._partial_computations
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+class KSPDG:
+    """KSP query engine backed by a DTLP index.
+
+    Examples
+    --------
+    >>> from repro.graph import road_network
+    >>> from repro.core import DTLP, DTLPConfig, KSPDG
+    >>> graph = road_network(8, 8, seed=3)
+    >>> dtlp = DTLP(graph, DTLPConfig(z=12, xi=3)).build()
+    >>> engine = KSPDG(dtlp)
+    >>> result = engine.query(0, 60, k=3)
+    >>> len(result.paths)
+    3
+    """
+
+    def __init__(self, dtlp: DTLP) -> None:
+        if not dtlp.built:
+            raise QueryError("the DTLP index must be built before creating KSPDG")
+        self._dtlp = dtlp
+
+    @property
+    def dtlp(self) -> DTLP:
+        """The underlying DTLP index."""
+        return self._dtlp
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        on_reference_path: Optional[ReferenceHook] = None,
+        on_partial: Optional[PartialHook] = None,
+        on_merge: Optional[MergeHook] = None,
+    ) -> KSPResult:
+        """Answer one k-shortest-path query.
+
+        The optional hooks receive per-phase timings; the simulated
+        distributed runtime uses them to attribute work to cluster workers.
+        """
+        if not self._dtlp.graph.has_vertex(source):
+            raise QueryError(f"source vertex {source} is not in the graph")
+        if not self._dtlp.graph.has_vertex(target):
+            raise QueryError(f"target vertex {target} is not in the graph")
+        query = KSPDGQuery(
+            self._dtlp,
+            source,
+            target,
+            k,
+            on_reference_path=on_reference_path,
+            on_partial=on_partial,
+            on_merge=on_merge,
+        )
+        return query.run()
+
+    def query_many(self, queries: Sequence[Tuple[int, int, int]]) -> List[KSPResult]:
+        """Answer a batch of queries sequentially (single-process execution)."""
+        return [self.query(source, target, k) for source, target, k in queries]

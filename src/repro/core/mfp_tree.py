@@ -1,0 +1,245 @@
+"""MFP-tree: compact storage of bounding-path sets per edge group.
+
+Section 4.2 of the paper compresses the EP-Index inside each LSH group with a
+modified FP-tree.  For every edge in a group, its set of covering bounding
+paths is ordered by global path frequency and appended to the tree as a node
+sequence ``p_0, ..., p_l, e`` where the ``p_i`` are *normal* (path) nodes and
+the trailing edge node is the *tail*.  Insertion looks for the longest
+matching prefix anywhere in the tree (not only at the root, unlike the
+classic FP-tree) and appends the remainder below it.  The tail node records
+the size of the edge's path set so that, on a weight change of that edge, the
+covering paths can be recovered by walking up exactly that many nodes.
+
+The per-group trees of a subgraph are merged under a common empty root
+(Figure 13), which is what :class:`MFPForest` represents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["MFPNode", "MFPTree", "MFPForest", "build_mfp_forest"]
+
+
+class MFPNode:
+    """One node of an MFP-tree.
+
+    A node is either a *path node* (``item`` is a bounding-path id, ``is_tail``
+    False) or a *tail node* (``item`` is an edge key, ``is_tail`` True,
+    ``path_count`` holds the size of the edge's path set).
+    """
+
+    __slots__ = ("item", "is_tail", "path_count", "parent", "children")
+
+    def __init__(
+        self,
+        item: Optional[Hashable],
+        is_tail: bool = False,
+        path_count: int = 0,
+        parent: Optional["MFPNode"] = None,
+    ) -> None:
+        self.item = item
+        self.is_tail = is_tail
+        self.path_count = path_count
+        self.parent = parent
+        self.children: List["MFPNode"] = []
+
+    def add_child(self, node: "MFPNode") -> "MFPNode":
+        """Attach ``node`` below this node and return it."""
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def ancestors(self, count: int) -> List[Hashable]:
+        """Items of the ``count`` nearest ancestors (excluding the root)."""
+        items: List[Hashable] = []
+        node = self.parent
+        while node is not None and node.item is not None and len(items) < count:
+            items.append(node.item)
+            node = node.parent
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "tail" if self.is_tail else "path"
+        return f"<MFPNode {kind} item={self.item!r} children={len(self.children)}>"
+
+
+class MFPTree:
+    """MFP-tree for one LSH group of edges."""
+
+    def __init__(self) -> None:
+        self.root = MFPNode(item=None)
+        self._nodes: List[MFPNode] = []
+        self._tail_by_edge: Dict[Hashable, MFPNode] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, edge: Hashable, ordered_paths: Sequence[Hashable]) -> None:
+        """Insert one edge and its frequency-ordered path sequence.
+
+        The sequence ``ordered_paths`` must already be sorted by descending
+        global frequency (the caller — :func:`build_mfp_forest` — does this),
+        so that edges with similar path sets produce overlapping prefixes.
+        """
+        sequence = list(ordered_paths)
+        prefix_node, matched = self._longest_matching_prefix(sequence)
+        current = prefix_node if prefix_node is not None else self.root
+        for item in sequence[matched:]:
+            node = MFPNode(item=item)
+            current = current.add_child(node)
+            self._nodes.append(node)
+        tail = MFPNode(item=edge, is_tail=True, path_count=len(sequence))
+        current.add_child(tail)
+        self._nodes.append(tail)
+        self._tail_by_edge[edge] = tail
+
+    def _longest_matching_prefix(
+        self, sequence: Sequence[Hashable]
+    ) -> Tuple[Optional[MFPNode], int]:
+        """Find the deepest node chain matching a prefix of ``sequence``.
+
+        Unlike the classic FP-tree the prefix may start at any node, not only
+        at a child of the root.  The first (deepest) match found is used,
+        mirroring the paper's "the first being found will be picked".
+        """
+        if not sequence:
+            return None, 0
+        best_node: Optional[MFPNode] = None
+        best_length = 0
+        # Candidate start nodes: every non-tail node whose item equals the
+        # first element of the sequence, plus the root's children.
+        candidates = [node for node in self._nodes if not node.is_tail and node.item == sequence[0]]
+        for start in candidates:
+            length = 1
+            current = start
+            while length < len(sequence):
+                next_node = None
+                for child in current.children:
+                    if not child.is_tail and child.item == sequence[length]:
+                        next_node = child
+                        break
+                if next_node is None:
+                    break
+                current = next_node
+                length += 1
+            if length > best_length:
+                best_node, best_length = current, length
+        return best_node, best_length
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def paths_of_edge(self, edge: Hashable) -> Set[Hashable]:
+        """Recover the set of bounding-path ids covering ``edge``.
+
+        Walks up ``path_count`` steps from the edge's tail node, exactly the
+        update procedure described at the end of Section 4.2.
+        """
+        tail = self._tail_by_edge.get(edge)
+        if tail is None:
+            return set()
+        return set(tail.ancestors(tail.path_count))
+
+    def edges(self) -> Iterable[Hashable]:
+        """Edges (tail nodes) stored in this tree."""
+        return self._tail_by_edge.keys()
+
+    def num_nodes(self) -> int:
+        """Number of nodes excluding the root."""
+        return len(self._nodes)
+
+    def num_path_nodes(self) -> int:
+        """Number of non-tail (path) nodes."""
+        return sum(1 for node in self._nodes if not node.is_tail)
+
+
+class MFPForest:
+    """The merged MFP-tree of a subgraph (one tree per LSH group).
+
+    Figure 13 of the paper merges per-group trees under an empty root; this
+    class keeps the trees in a list, which is equivalent and simpler to
+    traverse.
+    """
+
+    def __init__(self, trees: Sequence[MFPTree]) -> None:
+        self._trees = list(trees)
+        self._tree_by_edge: Dict[Hashable, MFPTree] = {}
+        for tree in self._trees:
+            for edge in tree.edges():
+                self._tree_by_edge[edge] = tree
+
+    @property
+    def trees(self) -> Sequence[MFPTree]:
+        """The per-group trees."""
+        return tuple(self._trees)
+
+    def paths_of_edge(self, edge: Hashable) -> Set[Hashable]:
+        """Bounding-path ids covering ``edge`` (empty set for unknown edges)."""
+        tree = self._tree_by_edge.get(edge)
+        if tree is None:
+            return set()
+        return tree.paths_of_edge(edge)
+
+    def num_nodes(self) -> int:
+        """Total node count across all trees."""
+        return sum(tree.num_nodes() for tree in self._trees)
+
+    def compression_ratio(self, path_sets: Mapping[Hashable, Set[Hashable]]) -> float:
+        """Ratio of stored path nodes to the uncompressed EP-Index entries.
+
+        A value below 1.0 means the MFP-tree stores fewer path references
+        than the flat EP-Index; the closer to 0 the better the compression.
+        """
+        flat_entries = sum(len(paths) for paths in path_sets.values())
+        if flat_entries == 0:
+            return 1.0
+        stored = sum(tree.num_path_nodes() for tree in self._trees)
+        return stored / flat_entries
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint estimate (48 bytes per node)."""
+        return self.num_nodes() * 48
+
+
+def build_mfp_forest(
+    path_sets: Mapping[Hashable, Set[Hashable]],
+    groups: Sequence[Sequence[Hashable]],
+) -> MFPForest:
+    """Build the MFP-forest for one subgraph.
+
+    Parameters
+    ----------
+    path_sets:
+        Mapping edge → set of bounding-path ids (from ``EPIndex.path_sets``).
+    groups:
+        The LSH grouping of the edges (from
+        :func:`repro.core.lsh.lsh_group_edges`).  Edges absent from
+        ``path_sets`` are ignored.
+
+    Returns
+    -------
+    MFPForest
+        One MFP-tree per group, merged under a forest wrapper.
+    """
+    # Global path frequency across all edges: more frequent paths come first
+    # so that shared prefixes align.
+    frequency: Dict[Hashable, int] = {}
+    for paths in path_sets.values():
+        for path_id in paths:
+            frequency[path_id] = frequency.get(path_id, 0) + 1
+
+    def ordering_key(path_id: Hashable) -> Tuple[int, str]:
+        return (-frequency.get(path_id, 0), repr(path_id))
+
+    trees: List[MFPTree] = []
+    for group in groups:
+        tree = MFPTree()
+        for edge in group:
+            if edge not in path_sets:
+                continue
+            ordered = sorted(path_sets[edge], key=ordering_key)
+            tree.insert(edge, ordered)
+        if tree.num_nodes() > 0:
+            trees.append(tree)
+    return MFPForest(trees)

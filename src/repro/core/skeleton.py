@@ -1,0 +1,164 @@
+"""Skeleton graph: the second level of the DTLP index.
+
+The skeleton graph ``G_lambda`` (Section 3.6) contains every boundary vertex
+of every subgraph.  Two boundary vertices are connected by an edge if and
+only if they co-occur in at least one subgraph; the edge weight is the
+*minimum lower bound distance* over those subgraphs.  The skeleton graph is
+small relative to the original graph and is replicated to every worker;
+KSP-DG uses it to compute reference paths that guide the search.
+
+The class supports *augmentation* for query processing (Section 5.3): when a
+query's source or destination is not a boundary vertex, a temporary copy of
+the skeleton graph is created with the endpoint attached to the boundary
+vertices of its subgraph.  :meth:`SkeletonGraph.augmented` returns such a
+copy without mutating the shared instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..graph.errors import VertexNotFoundError
+from ..graph.graph import edge_key
+
+__all__ = ["SkeletonGraph"]
+
+
+class SkeletonGraph:
+    """A small weighted graph over boundary vertices.
+
+    The interface intentionally mirrors the ``neighbors`` protocol of
+    :class:`~repro.graph.graph.DynamicGraph` so the generic shortest-path
+    algorithms (Dijkstra, Yen) run on it unchanged.
+
+    Parameters
+    ----------
+    directed:
+        When ``True`` edges keep their orientation (used for directed road
+        networks, Section 5.3).
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self._directed = directed
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the skeleton graph is directed."""
+        return self._directed
+
+    def add_vertex(self, vertex: int) -> None:
+        """Insert an isolated vertex (no-op when present)."""
+        self._adjacency.setdefault(vertex, {})
+
+    def set_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert or overwrite the edge ``(u, v)`` with ``weight``."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adjacency[u][v] = weight
+        if not self._directed:
+            self._adjacency[v][u] = weight
+
+    def update_edge_minimum(self, u: int, v: int, weight: float) -> None:
+        """Set the edge weight to the minimum of the current and new value.
+
+        Used when aggregating lower bound distances across subgraphs: the
+        skeleton edge weight is the *minimum* lower bound distance over all
+        subgraphs containing both endpoints.
+        """
+        current = self._adjacency.get(u, {}).get(v)
+        if current is None or weight < current:
+            self.set_edge(u, v, weight)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (boundary vertices plus any augmented endpoints)."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        total = sum(len(nbrs) for nbrs in self._adjacency.values())
+        return total if self._directed else total // 2
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertices."""
+        return iter(self._adjacency)
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Return ``True`` when ``vertex`` is in the skeleton graph."""
+        return vertex in self._adjacency
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the edge ``(u, v)`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``."""
+        return self._adjacency[u][v]
+
+    def neighbors(self, vertex: int) -> Mapping[int, float]:
+        """Neighbour → weight mapping, compatible with the Dijkstra adapter."""
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over edges as ``(u, v, weight)`` (once per undirected edge)."""
+        seen = set()
+        for u, nbrs in self._adjacency.items():
+            for v, weight in nbrs.items():
+                key = (u, v) if self._directed else edge_key(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield key[0], key[1], weight
+
+    def copy(self) -> "SkeletonGraph":
+        """Return a deep copy (used to build per-query augmented skeletons)."""
+        clone = SkeletonGraph(directed=self._directed)
+        clone._adjacency = {v: dict(nbrs) for v, nbrs in self._adjacency.items()}
+        return clone
+
+    def augmented(
+        self,
+        attachments: Mapping[int, Mapping[int, float]],
+    ) -> "SkeletonGraph":
+        """Return a copy with extra vertices attached.
+
+        Parameters
+        ----------
+        attachments:
+            Mapping from new vertex to its ``{boundary_vertex: weight}``
+            edges.  This is how non-boundary query endpoints are temporarily
+            added to the skeleton graph (Section 5.3).  Attaching a vertex
+            that already exists simply adds the extra edges.
+        """
+        clone = self.copy()
+        for vertex, edges in attachments.items():
+            clone.add_vertex(vertex)
+            for boundary, weight in edges.items():
+                clone.update_edge_minimum(vertex, boundary, weight)
+                if self._directed:
+                    clone.update_edge_minimum(boundary, vertex, weight)
+        return clone
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint (24 bytes per directed adjacency entry)."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) * 24 + len(self._adjacency) * 16
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SkeletonGraph |V|={self.num_vertices} |E|={self.num_edges}>"

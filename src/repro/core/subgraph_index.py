@@ -1,0 +1,295 @@
+"""Per-subgraph first-level DTLP index.
+
+The first level of DTLP (Sections 3.4-3.7 of the paper) lives on the worker
+that owns a subgraph.  For each pair of boundary vertices of the subgraph it
+maintains:
+
+* the set of bounding paths (stable under weight changes),
+* the current actual distance of each bounding path (kept up to date through
+  the EP-Index when weights change),
+* the bound distance of each bounding path (the sum of its vfrag-count many
+  smallest unit weights of the subgraph),
+* the resulting *lower bound distance* (Definitions 6-7, Theorem 1).
+
+The class also exposes the statistics the evaluation section reports
+(number of bounding paths, EP-Index size, maintenance timing hooks).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.dijkstra import lightest_vfrag_paths_from_source
+from ..graph.errors import IndexStateError
+from ..graph.graph import WeightUpdate, edge_key
+from ..graph.subgraph import SortedUnitWeights, Subgraph
+from .bounding_paths import BoundingPath, compute_bounding_paths
+from .ep_index import EPIndex
+
+__all__ = ["SubgraphIndex"]
+
+
+class SubgraphIndex:
+    """Bounding paths, EP-Index and lower-bound distances for one subgraph.
+
+    Parameters
+    ----------
+    subgraph:
+        The subgraph this index covers.
+    xi:
+        Number of distinct vfrag counts (bounding paths) per boundary pair.
+    directed:
+        When ``True`` bounding paths are computed separately for both
+        directions of every boundary pair (Section 5.3).
+    max_paths_per_count, max_expansions:
+        Passed through to the bounding-path search; see
+        :func:`repro.core.bounding_paths.compute_bounding_paths`.
+    """
+
+    def __init__(
+        self,
+        subgraph: Subgraph,
+        xi: int,
+        directed: bool = False,
+        max_paths_per_count: int = 4,
+        max_expansions: int = 20_000,
+    ) -> None:
+        if xi <= 0:
+            raise ValueError(f"xi must be positive, got {xi}")
+        self._subgraph = subgraph
+        self._xi = xi
+        self._directed = directed
+        self._max_paths_per_count = max_paths_per_count
+        self._max_expansions = max_expansions
+        self._paths_by_id: Dict[int, BoundingPath] = {}
+        self._paths_by_pair: Dict[Tuple[int, int], List[int]] = {}
+        self._ep_index = EPIndex(directed=directed)
+        self._unit_weights: Optional[SortedUnitWeights] = None
+        self._built = False
+        self._build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def subgraph(self) -> Subgraph:
+        """The indexed subgraph."""
+        return self._subgraph
+
+    @property
+    def subgraph_id(self) -> int:
+        """Id of the indexed subgraph."""
+        return self._subgraph.subgraph_id
+
+    @property
+    def xi(self) -> int:
+        """Number of bounding paths kept per boundary pair."""
+        return self._xi
+
+    @property
+    def ep_index(self) -> EPIndex:
+        """The edge-to-paths maintenance index."""
+        return self._ep_index
+
+    @property
+    def built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock time the last :meth:`build` call took."""
+        return self._build_seconds
+
+    def boundary_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over the indexed boundary-vertex pairs."""
+        return iter(self._paths_by_pair)
+
+    def num_bounding_paths(self) -> int:
+        """Total number of bounding paths stored for this subgraph."""
+        return len(self._paths_by_id)
+
+    def bounding_paths(self, source: int, target: int) -> List[BoundingPath]:
+        """The bounding paths for one (ordered) boundary pair."""
+        key = self._pair_key(source, target)
+        return [self._paths_by_id[path_id] for path_id in self._paths_by_pair.get(key, [])]
+
+    def path(self, path_id: int) -> BoundingPath:
+        """Resolve a bounding-path id."""
+        return self._paths_by_id[path_id]
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint of the first-level index for this subgraph."""
+        path_bytes = sum(
+            48 + 8 * len(path.vertices) for path in self._paths_by_id.values()
+        )
+        return path_bytes + self._ep_index.memory_estimate_bytes()
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def _pair_key(self, source: int, target: int) -> Tuple[int, int]:
+        if self._directed:
+            return (source, target)
+        return edge_key(source, target)
+
+    def build(self) -> "SubgraphIndex":
+        """Compute bounding paths for every pair of boundary vertices.
+
+        Follows Algorithm 1: for each pair of boundary vertices of the
+        subgraph, compute the bounding paths, register them in the EP-Index
+        and record their current distances.  The search runs once per
+        boundary *source* (serving every other boundary vertex in one pass),
+        which keeps index construction polynomial even for large ``z``.
+        """
+        started = time.perf_counter()
+        boundary = sorted(self._subgraph.boundary_vertices)
+        boundary_set = set(boundary)
+        self._paths_by_id.clear()
+        self._paths_by_pair.clear()
+        self._ep_index = EPIndex(directed=self._directed)
+        next_id = 0
+        for position, source in enumerate(boundary):
+            per_target = lightest_vfrag_paths_from_source(
+                self._subgraph,
+                source,
+                max_distinct_counts=self._xi,
+                max_expansions=self._max_expansions,
+            )
+            for target, raw_paths in per_target.items():
+                if target not in boundary_set:
+                    continue
+                if not self._directed and target <= source:
+                    # Undirected: each unordered pair is indexed once, from
+                    # its smaller endpoint.
+                    continue
+                key = self._pair_key(source, target)
+                if key in self._paths_by_pair:
+                    continue
+                path_ids: List[int] = []
+                for vfrags, vertices in raw_paths:
+                    bounding_path = BoundingPath(
+                        path_id=next_id,
+                        source=source,
+                        target=target,
+                        vertices=tuple(vertices),
+                        vfrag_count=vfrags,
+                        distance=self._subgraph.path_distance(vertices),
+                    )
+                    self._paths_by_id[next_id] = bounding_path
+                    self._ep_index.add_path(next_id, bounding_path.vertices)
+                    path_ids.append(next_id)
+                    next_id += 1
+                if path_ids:
+                    self._paths_by_pair[key] = path_ids
+        self._unit_weights = SortedUnitWeights(self._subgraph)
+        self._built = True
+        self._build_seconds = time.perf_counter() - started
+        return self
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Sequence[WeightUpdate]) -> Set[Tuple[int, int]]:
+        """Apply a batch of weight updates affecting this subgraph.
+
+        Implements Algorithm 2: for each changed edge, the distances of the
+        bounding paths covering it (found through the EP-Index) are adjusted
+        by the weight delta, and the subgraph's sorted unit weights are
+        refreshed so bound distances reflect the new weights.
+
+        Parameters
+        ----------
+        updates:
+            Weight updates whose edges belong to this subgraph.  The *new*
+            weight is read from the update; the delta is derived from the
+            parent graph's previous state implicitly because updates are
+            applied to the graph before listeners run, so this method
+            recomputes affected path distances from scratch instead of
+            applying deltas — equally cheap and immune to ordering issues.
+
+        Returns
+        -------
+        set of boundary pairs whose lower bound distance may have changed.
+        """
+        if not self._built:
+            raise IndexStateError("SubgraphIndex.build() must run before updates")
+        affected_pairs: Set[Tuple[int, int]] = set()
+        touched_paths: Set[int] = set()
+        for update in updates:
+            if not self._subgraph.has_edge(update.u, update.v):
+                continue
+            if self._unit_weights is not None:
+                self._unit_weights.update_edge(update.u, update.v)
+            for path_id in self._ep_index.paths_through_edge(update.u, update.v):
+                touched_paths.add(path_id)
+        for path_id in touched_paths:
+            path = self._paths_by_id[path_id]
+            path.distance = self._subgraph.path_distance(path.vertices)
+            affected_pairs.add(self._pair_key(path.source, path.target))
+        # A change in any unit weight shifts every bound distance in the
+        # subgraph, so conservatively all pairs may need their skeleton edge
+        # refreshed; returning only the pairs with touched paths matches the
+        # paper's Algorithm 2, while lower_bound_distance() always reads the
+        # current unit-weight profile so correctness does not depend on this.
+        return affected_pairs
+
+    # ------------------------------------------------------------------
+    # lower bounds (Theorem 1)
+    # ------------------------------------------------------------------
+    def bound_distance(self, path: BoundingPath) -> float:
+        """Bound distance of ``path``: sum of its vfrag-count smallest unit weights."""
+        if self._unit_weights is None:
+            self._unit_weights = SortedUnitWeights(self._subgraph)
+        return self._unit_weights.smallest_sum(path.vfrag_count)
+
+    def lower_bound_distance(self, source: int, target: int) -> Optional[float]:
+        """Lower bound of the shortest distance between two boundary vertices.
+
+        Returns ``None`` when the pair is not connected within this subgraph
+        (no bounding paths exist).  Otherwise applies Theorem 1: let ``D_u``
+        be the smallest actual distance among the stored bounding paths and
+        ``BD_max`` the largest bound distance; if ``BD_max >= D_u`` the pair's
+        within-subgraph shortest distance is ``D_u`` (claim 1), otherwise
+        ``BD_max`` is a valid lower bound (claim 2).  Both cases collapse to
+        ``min(D_u, BD_max)``.
+        """
+        key = self._pair_key(source, target)
+        path_ids = self._paths_by_pair.get(key)
+        if not path_ids:
+            return None
+        best_actual = float("inf")
+        max_bound = 0.0
+        for path_id in path_ids:
+            path = self._paths_by_id[path_id]
+            best_actual = min(best_actual, path.distance)
+            max_bound = max(max_bound, self.bound_distance(path))
+        return min(best_actual, max_bound)
+
+    def lower_bound_distances(self) -> Dict[Tuple[int, int], float]:
+        """Lower bound distances for every indexed boundary pair."""
+        result: Dict[Tuple[int, int], float] = {}
+        for key in self._paths_by_pair:
+            value = self.lower_bound_distance(*key)
+            if value is not None:
+                result[key] = value
+        return result
+
+    def lower_bounds_from_vertex(self, vertex: int) -> Dict[int, float]:
+        """Lower bounds from an arbitrary vertex to each boundary vertex.
+
+        Used by Step 1 of the Storm deployment (Section 6.1) when a query's
+        source or destination is not a boundary vertex: the vertex is
+        virtually attached to the skeleton graph with edges to the boundary
+        vertices of its subgraph.  The within-subgraph shortest distance is
+        used, which is the tightest valid lower bound (Definition 6, case 1).
+        """
+        from ..algorithms.dijkstra import dijkstra
+
+        distances, _ = dijkstra(self._subgraph, vertex)
+        return {
+            boundary: distances[boundary]
+            for boundary in self._subgraph.boundary_vertices
+            if boundary in distances and boundary != vertex
+        }

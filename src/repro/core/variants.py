@@ -1,0 +1,148 @@
+"""Query variants built on top of KSP-DG.
+
+Section 8 of the paper sketches two practically important variants of the KSP
+query as future work:
+
+* **Constrained KSP** — every returned path must pass through a set of
+  designated vertices (for example a mandatory waypoint such as a charging
+  station or a pick-up point).
+* **Diversified KSP** — the returned paths must be sufficiently different
+  from each other (bounded pairwise overlap), so that a navigation service
+  does not offer three near-identical routes.
+
+This module implements both on top of the :class:`~repro.core.ksp_dg.KSPDG`
+engine, so they inherit the distributed index and stay correct under weight
+updates:
+
+* :func:`constrained_ksp` decomposes the query at the required waypoints,
+  answers each leg with KSP-DG, and joins the per-leg results keeping the k
+  best simple combinations (the same join used inside candidateKSP).
+* :func:`diverse_ksp` streams candidate paths in increasing distance order
+  (by repeatedly asking KSP-DG for a larger k) and greedily keeps paths whose
+  edge overlap with every already-selected path is below a threshold.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.errors import QueryError
+from ..graph.paths import Path, merge_paths
+from .ksp_dg import KSPDG
+
+__all__ = ["constrained_ksp", "diverse_ksp", "path_overlap"]
+
+
+def path_overlap(first: Path, second: Path) -> float:
+    """Fraction of the shorter path's edges shared with the other path.
+
+    Both orientations of an edge count as the same edge.  Returns 0.0 when
+    either path has no edges.
+    """
+    first_edges = {tuple(sorted(edge)) for edge in first.edges()}
+    second_edges = {tuple(sorted(edge)) for edge in second.edges()}
+    if not first_edges or not second_edges:
+        return 0.0
+    shared = len(first_edges & second_edges)
+    return shared / min(len(first_edges), len(second_edges))
+
+
+def constrained_ksp(
+    engine: KSPDG,
+    source: int,
+    target: int,
+    k: int,
+    via: Sequence[int],
+    per_leg_k: Optional[int] = None,
+) -> List[Path]:
+    """k shortest simple paths passing through ``via`` vertices in order.
+
+    Parameters
+    ----------
+    engine:
+        A KSP-DG engine over a built DTLP index.
+    source, target:
+        Query endpoints.
+    k:
+        Number of paths to return.
+    via:
+        Designated waypoint vertices, visited in the given order.  An empty
+        sequence degenerates to a plain KSP query.
+    per_leg_k:
+        How many partial paths to retrieve per leg before joining; defaults
+        to ``k`` (larger values improve the chance of finding k simple
+        combinations when legs overlap heavily).
+
+    Returns
+    -------
+    list of Path
+        At most ``k`` simple paths from ``source`` to ``target`` visiting the
+        waypoints in order, sorted by distance.  Fewer paths are returned
+        when the constraints cannot be met ``k`` times.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    waypoints = [source, *via, target]
+    for vertex in waypoints:
+        if not engine.dtlp.graph.has_vertex(vertex):
+            raise QueryError(f"waypoint {vertex} is not in the graph")
+    if len(set(waypoints)) != len(waypoints):
+        raise QueryError("source, via vertices and target must all be distinct")
+    if not via:
+        return engine.query(source, target, k).paths
+
+    leg_k = per_leg_k or max(k, 2)
+    legs: List[List[Path]] = []
+    for leg_source, leg_target in zip(waypoints, waypoints[1:]):
+        result = engine.query(leg_source, leg_target, leg_k)
+        if not result.paths:
+            return []
+        legs.append(result.paths)
+
+    combined = legs[0]
+    for extension in legs[1:]:
+        joined: List[Path] = []
+        for prefix, suffix in itertools.product(combined, extension):
+            vertices = prefix.vertices + suffix.vertices[1:]
+            if len(set(vertices)) != len(vertices):
+                continue
+            joined.append(merge_paths(prefix, suffix))
+        joined.sort()
+        combined = joined[: max(leg_k, k)]
+        if not combined:
+            return []
+    return combined[:k]
+
+
+def diverse_ksp(
+    engine: KSPDG,
+    source: int,
+    target: int,
+    k: int,
+    max_overlap: float = 0.6,
+    search_multiplier: int = 4,
+) -> List[Path]:
+    """k short paths whose pairwise edge overlap stays below ``max_overlap``.
+
+    The function asks KSP-DG for ``k * search_multiplier`` candidate paths
+    and greedily keeps, in increasing distance order, every path that
+    overlaps each already-kept path by at most ``max_overlap`` (fraction of
+    shared edges, see :func:`path_overlap`).  The first (shortest) path is
+    always kept.
+
+    Returns at most ``k`` paths; fewer when the graph does not contain enough
+    sufficiently-different alternatives within the candidate pool.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    if not 0.0 <= max_overlap <= 1.0:
+        raise QueryError(f"max_overlap must be within [0, 1], got {max_overlap}")
+    candidate_pool = engine.query(source, target, k * max(1, search_multiplier)).paths
+    selected: List[Path] = []
+    for candidate in candidate_pool:
+        if len(selected) >= k:
+            break
+        if all(path_overlap(candidate, kept) <= max_overlap for kept in selected):
+            selected.append(candidate)
+    return selected

@@ -1,0 +1,37 @@
+"""Simulated distributed runtime: cluster, Storm-style topology, KSP-DG engine."""
+
+from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
+from .cluster import SimulatedCluster, SimulatedWorker, WorkerStats
+from .engine import DistributedBuildReport, KSPDGEngine, distributed_build_report
+from .messages import (
+    AttachmentRequestMessage,
+    AttachmentResponseMessage,
+    Message,
+    PartialPathsMessage,
+    QueryMessage,
+    ReferencePathMessage,
+    WeightUpdateMessage,
+)
+from .topology import StormTopology, TopologyReport
+
+__all__ = [
+    "EntranceSpout",
+    "QueryBolt",
+    "QueryBoltResult",
+    "SubgraphBolt",
+    "SimulatedCluster",
+    "SimulatedWorker",
+    "WorkerStats",
+    "DistributedBuildReport",
+    "KSPDGEngine",
+    "distributed_build_report",
+    "Message",
+    "QueryMessage",
+    "WeightUpdateMessage",
+    "ReferencePathMessage",
+    "PartialPathsMessage",
+    "AttachmentRequestMessage",
+    "AttachmentResponseMessage",
+    "StormTopology",
+    "TopologyReport",
+]

@@ -1,0 +1,433 @@
+"""Storm-style processing components: EntranceSpout, SubgraphBolt, QueryBolt.
+
+Section 6.1 of the paper deploys KSP-DG on Apache Storm as a topology with
+three component types.  The simulated runtime keeps the same decomposition:
+
+* :class:`EntranceSpout` — runs on the master, receives edge-weight updates
+  and incoming KSP queries, routes updates to the SubgraphBolt owning the
+  affected subgraph and assigns each query to a QueryBolt.
+* :class:`SubgraphBolt` — runs on a worker; owns one or more subgraphs and
+  their first-level DTLP indexes; answers two kinds of requests: weight
+  updates (index maintenance) and reference-path broadcasts (computes the
+  partial k shortest paths for the adjacent vertex pairs it can serve).
+* :class:`QueryBolt` — runs on a worker; holds a replica of the skeleton
+  graph, computes reference paths, broadcasts them, merges the returned
+  partial paths into candidate KSPs and applies the termination test.
+
+Every piece of computation is timed with ``time.perf_counter`` and charged to
+the hosting worker through the :class:`~repro.distributed.cluster.SimulatedCluster`,
+and every inter-component message is charged as communication, so aggregate
+metrics reproduce the cost analysis of Section 5.6.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.dijkstra import dijkstra
+from ..algorithms.yen import LazyYen, yen_k_shortest_paths
+from ..core.dtlp import DTLP
+from ..core.skeleton import SkeletonGraph
+from ..core.subgraph_index import SubgraphIndex
+from ..graph.errors import ClusterError, PathNotFoundError
+from ..graph.graph import WeightUpdate
+from ..graph.partition import GraphPartition
+from ..graph.paths import Path, merge_paths
+from ..workloads.queries import KSPQuery
+from .cluster import SimulatedCluster
+
+__all__ = ["EntranceSpout", "SubgraphBolt", "QueryBolt"]
+
+
+class SubgraphBolt:
+    """Worker component owning a set of subgraphs and their indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        worker_id: int,
+        cluster: SimulatedCluster,
+        dtlp: DTLP,
+        subgraph_ids: Sequence[int],
+    ) -> None:
+        self.name = name
+        self.worker_id = worker_id
+        self._cluster = cluster
+        self._dtlp = dtlp
+        self._partition = dtlp.partition
+        self.subgraph_ids: Set[int] = set(subgraph_ids)
+        worker = cluster.worker(worker_id)
+        worker.host(name)
+        for subgraph_id in self.subgraph_ids:
+            worker.charge_memory(
+                dtlp.subgraph_index(subgraph_id).memory_estimate_bytes()
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def handle_weight_updates(self, subgraph_id: int, updates: Sequence[WeightUpdate]) -> None:
+        """Apply weight updates to one of the owned subgraph indexes."""
+        if subgraph_id not in self.subgraph_ids:
+            raise ClusterError(
+                f"{self.name} does not own subgraph {subgraph_id}"
+            )
+        started = time.perf_counter()
+        self._dtlp.subgraph_index(subgraph_id).apply_updates(updates)
+        self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # query support
+    # ------------------------------------------------------------------
+    def partial_ksps_for_reference(
+        self, reference_path: Path, k: int
+    ) -> Dict[Tuple[int, int], List[Path]]:
+        """Partial k shortest paths for the reference-path pairs this bolt serves.
+
+        For every pair of adjacent vertices on the reference path, if any of
+        the subgraphs owned by this bolt contains both vertices, Yen's
+        algorithm is run inside those subgraphs and the best ``k`` results
+        per pair are returned.
+        """
+        started = time.perf_counter()
+        results: Dict[Tuple[int, int], List[Path]] = {}
+        vertices = reference_path.vertices
+        for index in range(len(vertices) - 1):
+            pair = (vertices[index], vertices[index + 1])
+            owners = set(self._partition.subgraphs_containing_pair(*pair))
+            local_owners = owners & self.subgraph_ids
+            if not local_owners:
+                continue
+            collected: List[Path] = []
+            for subgraph_id in local_owners:
+                subgraph = self._partition.subgraph(subgraph_id)
+                try:
+                    collected.extend(yen_k_shortest_paths(subgraph, pair[0], pair[1], k))
+                except PathNotFoundError:
+                    continue
+            if not collected:
+                continue
+            collected.sort()
+            deduplicated: List[Path] = []
+            seen: Set[Tuple[int, ...]] = set()
+            for path in collected:
+                if path.vertices in seen:
+                    continue
+                seen.add(path.vertices)
+                deduplicated.append(path)
+                if len(deduplicated) >= k:
+                    break
+            results[pair] = deduplicated
+        self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        return results
+
+    def attachment_bounds(self, vertex: int) -> Dict[int, float]:
+        """Step-1 support: lower bounds from a non-boundary vertex.
+
+        Computes, within every owned subgraph containing ``vertex``, the
+        distances from the vertex to the subgraph's boundary vertices.
+        """
+        started = time.perf_counter()
+        bounds: Dict[int, float] = {}
+        for subgraph_id in self.subgraph_ids:
+            subgraph = self._partition.subgraph(subgraph_id)
+            if vertex not in subgraph.vertices:
+                continue
+            index = self._dtlp.subgraph_index(subgraph_id)
+            for boundary, distance in index.lower_bounds_from_vertex(vertex).items():
+                current = bounds.get(boundary)
+                if current is None or distance < current:
+                    bounds[boundary] = distance
+        self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        return bounds
+
+    def direct_distance(self, source: int, target: int) -> Optional[float]:
+        """Within-subgraph distance between two vertices sharing an owned subgraph."""
+        started = time.perf_counter()
+        best: Optional[float] = None
+        for subgraph_id in self.subgraph_ids:
+            subgraph = self._partition.subgraph(subgraph_id)
+            if source not in subgraph.vertices or target not in subgraph.vertices:
+                continue
+            distances, _ = dijkstra(subgraph, source, target=target)
+            if target in distances:
+                value = distances[target]
+                if best is None or value < best:
+                    best = value
+        self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        return best
+
+
+class QueryBolt:
+    """Worker component that owns queries end to end."""
+
+    def __init__(
+        self,
+        name: str,
+        worker_id: int,
+        cluster: SimulatedCluster,
+        dtlp: DTLP,
+        subgraph_bolts: Sequence[SubgraphBolt],
+        k_default: int = 2,
+    ) -> None:
+        self.name = name
+        self.worker_id = worker_id
+        self._cluster = cluster
+        self._dtlp = dtlp
+        self._partition = dtlp.partition
+        self._subgraph_bolts = list(subgraph_bolts)
+        self._k_default = k_default
+        worker = cluster.worker(worker_id)
+        worker.host(name)
+        worker.charge_memory(dtlp.skeleton_graph.memory_estimate_bytes())
+        self.queries_processed = 0
+
+    def set_subgraph_bolts(self, subgraph_bolts: Sequence[SubgraphBolt]) -> None:
+        """Replace the set of SubgraphBolts this QueryBolt fans out to.
+
+        Used by the topology when workers fail and their subgraphs are
+        re-hosted on the survivors.
+        """
+        self._subgraph_bolts = list(subgraph_bolts)
+
+    # ------------------------------------------------------------------
+    # query processing (Step 2 of Figure 14)
+    # ------------------------------------------------------------------
+    def process_query(
+        self,
+        query: KSPQuery,
+        attachments: Optional[Dict[int, Dict[int, float]]] = None,
+        direct_edge: Optional[float] = None,
+    ) -> "QueryBoltResult":
+        """Run the iterative KSP-DG loop for one query.
+
+        Parameters
+        ----------
+        query:
+            The KSP query.
+        attachments:
+            Step-1 output: skeleton attachments for non-boundary endpoints.
+        direct_edge:
+            Optional direct lower-bound edge weight between the endpoints
+            when they share a subgraph and at least one is non-boundary.
+        """
+        worker = self._cluster.worker(self.worker_id)
+        skeleton = self._dtlp.skeleton_graph
+        started = time.perf_counter()
+        if attachments:
+            skeleton = skeleton.augmented(attachments)
+            if direct_edge is not None and query.source != query.target:
+                skeleton.update_edge_minimum(query.source, query.target, direct_edge)
+        enumerator = LazyYen(skeleton, query.source, query.target)
+        worker.charge_compute(time.perf_counter() - started)
+
+        top_paths: List[Path] = []
+        seen: Set[Tuple[int, ...]] = set()
+        partial_cache: Dict[Tuple[int, int], List[Path]] = {}
+        iterations = 0
+        reference = self._next_reference(enumerator, worker)
+        while reference is not None:
+            iterations += 1
+            # Broadcast the reference path to all SubgraphBolts (communication).
+            for bolt in self._subgraph_bolts:
+                self._cluster.send(self.worker_id, bolt.worker_id, len(reference.vertices))
+            # Each SubgraphBolt computes the partial paths it can serve.
+            pair_paths: Dict[Tuple[int, int], List[Path]] = {}
+            for bolt in self._subgraph_bolts:
+                needed_pairs = self._pairs_needing_work(reference, partial_cache)
+                if not needed_pairs:
+                    break
+                bolt_result = bolt.partial_ksps_for_reference(reference, query.k)
+                for pair, paths in bolt_result.items():
+                    if pair not in needed_pairs:
+                        continue
+                    existing = pair_paths.setdefault(pair, [])
+                    existing.extend(paths)
+                    # Communication back to this QueryBolt.
+                    units = sum(len(path.vertices) for path in paths)
+                    self._cluster.send(bolt.worker_id, self.worker_id, units)
+            for pair, paths in pair_paths.items():
+                paths.sort()
+                deduplicated: List[Path] = []
+                seen_partial: Set[Tuple[int, ...]] = set()
+                for path in paths:
+                    if path.vertices in seen_partial:
+                        continue
+                    seen_partial.add(path.vertices)
+                    deduplicated.append(path)
+                    if len(deduplicated) >= query.k:
+                        break
+                partial_cache[pair] = deduplicated
+            # Merge partial paths into candidate complete paths.
+            merge_start = time.perf_counter()
+            candidates = self._merge_candidates(reference, partial_cache, query.k)
+            for candidate in candidates:
+                if candidate.vertices in seen:
+                    continue
+                seen.add(candidate.vertices)
+                top_paths.append(candidate)
+            top_paths.sort()
+            del top_paths[query.k:]
+            worker.charge_compute(time.perf_counter() - merge_start)
+
+            next_reference = self._next_reference(enumerator, worker)
+            if next_reference is None:
+                break
+            kth = (
+                top_paths[query.k - 1].distance
+                if len(top_paths) >= query.k
+                else float("inf")
+            )
+            if top_paths and kth <= next_reference.distance:
+                break
+            reference = next_reference
+        self.queries_processed += 1
+        return QueryBoltResult(
+            query=query,
+            paths=top_paths,
+            iterations=iterations,
+        )
+
+    def _next_reference(self, enumerator: LazyYen, worker) -> Optional[Path]:
+        started = time.perf_counter()
+        try:
+            reference = enumerator.next_path()
+        except (StopIteration, PathNotFoundError):
+            reference = None
+        worker.charge_compute(time.perf_counter() - started)
+        return reference
+
+    def _pairs_needing_work(
+        self, reference: Path, cache: Dict[Tuple[int, int], List[Path]]
+    ) -> Set[Tuple[int, int]]:
+        vertices = reference.vertices
+        return {
+            (vertices[index], vertices[index + 1])
+            for index in range(len(vertices) - 1)
+            if (vertices[index], vertices[index + 1]) not in cache
+        }
+
+    def _merge_candidates(
+        self,
+        reference: Path,
+        cache: Dict[Tuple[int, int], List[Path]],
+        k: int,
+    ) -> List[Path]:
+        vertices = reference.vertices
+        merged: Optional[List[Path]] = None
+        for index in range(len(vertices) - 1):
+            pair = (vertices[index], vertices[index + 1])
+            partials = cache.get(pair, [])
+            if not partials:
+                return []
+            if merged is None:
+                merged = list(partials[:k])
+                continue
+            combined: List[Path] = []
+            for prefix in merged:
+                for extension in partials:
+                    joined = prefix.vertices + extension.vertices[1:]
+                    if len(set(joined)) != len(joined):
+                        continue
+                    combined.append(merge_paths(prefix, extension))
+            combined.sort()
+            merged = combined[:k]
+            if not merged:
+                return []
+        return merged or []
+
+
+class QueryBoltResult:
+    """Outcome of one query processed by a QueryBolt."""
+
+    def __init__(self, query: KSPQuery, paths: List[Path], iterations: int) -> None:
+        self.query = query
+        self.paths = paths
+        self.iterations = iterations
+
+
+class EntranceSpout:
+    """Master component: receives updates and queries and routes them."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        dtlp: DTLP,
+        subgraph_bolts: Sequence[SubgraphBolt],
+        query_bolts: Sequence[QueryBolt],
+    ) -> None:
+        self._cluster = cluster
+        self._dtlp = dtlp
+        self._partition = dtlp.partition
+        self._subgraph_bolts = list(subgraph_bolts)
+        self._query_bolts = list(query_bolts)
+        self._bolt_by_subgraph: Dict[int, SubgraphBolt] = {}
+        for bolt in self._subgraph_bolts:
+            for subgraph_id in bolt.subgraph_ids:
+                self._bolt_by_subgraph[subgraph_id] = bolt
+        self._next_query_bolt = 0
+        cluster.master.host("entrance-spout")
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def submit_weight_updates(self, updates: Sequence[WeightUpdate]) -> None:
+        """Route a batch of weight updates to the owning SubgraphBolts.
+
+        Also refreshes the skeleton-graph replica (second-level index) after
+        the per-subgraph maintenance completes, charging the work to the
+        master, which mirrors the paper's description of the skeleton graph
+        being kept consistent across QueryBolts.
+        """
+        started = time.perf_counter()
+        updates_by_subgraph: Dict[int, List[WeightUpdate]] = {}
+        for update in updates:
+            owner = self._partition.owner_of_edge(update.u, update.v)
+            updates_by_subgraph.setdefault(owner, []).append(update)
+        self._cluster.master.charge_compute(time.perf_counter() - started)
+        for subgraph_id, batch in updates_by_subgraph.items():
+            bolt = self._bolt_by_subgraph[subgraph_id]
+            self._cluster.send(SimulatedCluster.MASTER_ID, bolt.worker_id, len(batch))
+            bolt.handle_weight_updates(subgraph_id, batch)
+        # Skeleton refresh (aggregation of lower bound distances).
+        started = time.perf_counter()
+        self._dtlp._refresh_skeleton_for_subgraphs(set(updates_by_subgraph))
+        self._cluster.master.charge_compute(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def submit_query(self, query: KSPQuery) -> QueryBoltResult:
+        """Process one query through Step 1 (if needed) and Step 2."""
+        attachments: Dict[int, Dict[int, float]] = {}
+        direct_edge: Optional[float] = None
+        for endpoint in {query.source, query.target}:
+            if self._partition.is_boundary(endpoint):
+                continue
+            owners = self._partition.subgraphs_of_vertex(endpoint)
+            bounds: Dict[int, float] = {}
+            for subgraph_id in owners:
+                bolt = self._bolt_by_subgraph[subgraph_id]
+                self._cluster.send(SimulatedCluster.MASTER_ID, bolt.worker_id, 2)
+                bolt_bounds = bolt.attachment_bounds(endpoint)
+                self._cluster.send(bolt.worker_id, SimulatedCluster.MASTER_ID, len(bolt_bounds))
+                for boundary, distance in bolt_bounds.items():
+                    current = bounds.get(boundary)
+                    if current is None or distance < current:
+                        bounds[boundary] = distance
+            attachments[endpoint] = bounds
+        if attachments and query.source != query.target:
+            shared = set(self._partition.subgraphs_of_vertex(query.source)) & set(
+                self._partition.subgraphs_of_vertex(query.target)
+            )
+            for subgraph_id in shared:
+                bolt = self._bolt_by_subgraph[subgraph_id]
+                value = bolt.direct_distance(query.source, query.target)
+                if value is not None and (direct_edge is None or value < direct_edge):
+                    direct_edge = value
+
+        query_bolt = self._query_bolts[self._next_query_bolt % len(self._query_bolts)]
+        self._next_query_bolt += 1
+        self._cluster.send(SimulatedCluster.MASTER_ID, query_bolt.worker_id, 3)
+        return query_bolt.process_query(query, attachments or None, direct_edge)

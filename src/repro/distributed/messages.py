@@ -1,0 +1,94 @@
+"""Message (tuple) types exchanged in the simulated Storm topology.
+
+Apache Storm moves data between spouts and bolts as *tuples* on named
+streams.  The simulated runtime models the same flow explicitly so that the
+communication-cost analysis of Section 5.6.1 can be reproduced: each message
+carries a ``payload_units`` size measured in "vertices transmitted", the unit
+the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..graph.paths import Path
+
+__all__ = [
+    "Message",
+    "QueryMessage",
+    "WeightUpdateMessage",
+    "ReferencePathMessage",
+    "PartialPathsMessage",
+    "AttachmentRequestMessage",
+    "AttachmentResponseMessage",
+]
+
+
+@dataclass
+class Message:
+    """Base message with routing metadata and a size in transfer units.
+
+    Attributes
+    ----------
+    sender, recipient:
+        Logical component names (e.g. ``"spout"``, ``"subgraph-bolt-3"``).
+    payload_units:
+        Size of the message measured in vertices, the unit of the paper's
+        communication-cost analysis.
+    """
+
+    sender: str
+    recipient: str
+    payload_units: int = 1
+
+
+@dataclass
+class QueryMessage(Message):
+    """A KSP query entering the topology."""
+
+    query_id: int = 0
+    source: int = 0
+    target: int = 0
+    k: int = 1
+
+
+@dataclass
+class WeightUpdateMessage(Message):
+    """A batch of edge-weight updates routed to one SubgraphBolt."""
+
+    subgraph_id: int = 0
+    num_updates: int = 0
+
+
+@dataclass
+class ReferencePathMessage(Message):
+    """A reference path broadcast from a QueryBolt to the SubgraphBolts."""
+
+    query_id: int = 0
+    reference_path: Optional[Path] = None
+
+
+@dataclass
+class PartialPathsMessage(Message):
+    """Partial k shortest paths returned by a SubgraphBolt to a QueryBolt."""
+
+    query_id: int = 0
+    pair_paths: Dict[Tuple[int, int], List[Path]] = field(default_factory=dict)
+
+
+@dataclass
+class AttachmentRequestMessage(Message):
+    """Step-1 request: compute lower bounds from a non-boundary endpoint."""
+
+    query_id: int = 0
+    vertex: int = 0
+
+
+@dataclass
+class AttachmentResponseMessage(Message):
+    """Step-1 response: lower bounds from the endpoint to boundary vertices."""
+
+    query_id: int = 0
+    vertex: int = 0
+    bounds: Dict[int, float] = field(default_factory=dict)

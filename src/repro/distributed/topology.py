@@ -1,0 +1,250 @@
+"""Topology assembly: wiring spouts and bolts onto a simulated cluster.
+
+:class:`StormTopology` builds the deployment of Figure 14: one EntranceSpout
+on the master, one SubgraphBolt per worker (owning a load-balanced share of
+the subgraphs and their first-level DTLP indexes), and one QueryBolt per
+worker (each holding a replica of the skeleton graph).  The topology exposes
+the two external operations of the system — submitting weight updates and
+submitting KSP queries — plus the cost metrics the benchmarks read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dtlp import DTLP
+from ..graph.errors import ClusterError
+from ..graph.graph import WeightUpdate
+from ..graph.paths import Path
+from ..workloads.queries import KSPQuery
+from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
+from .cluster import SimulatedCluster
+
+__all__ = ["TopologyReport", "StormTopology"]
+
+
+@dataclass
+class TopologyReport:
+    """Aggregate result of running a query batch on the topology.
+
+    Attributes
+    ----------
+    results:
+        Per-query results in submission order.
+    makespan_seconds:
+        Simulated parallel completion time (max busy time over nodes).
+    total_compute_seconds:
+        Total single-core computation across the cluster.
+    communication_units:
+        Total vertices transferred between distinct nodes.
+    load_balance:
+        The CPU/memory spread report of the cluster.
+    """
+
+    results: List[QueryBoltResult] = field(default_factory=list)
+    makespan_seconds: float = 0.0
+    total_compute_seconds: float = 0.0
+    communication_units: int = 0
+    load_balance: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average number of KSP-DG iterations per query."""
+        if not self.results:
+            return 0.0
+        return sum(result.iterations for result in self.results) / len(self.results)
+
+
+class StormTopology:
+    """The simulated Storm deployment of KSP-DG.
+
+    Parameters
+    ----------
+    dtlp:
+        A built DTLP index over the dynamic graph.
+    num_workers:
+        Number of worker servers (the paper's ``Ns``).
+    query_bolts_per_worker:
+        How many QueryBolts to place on each worker; the paper deploys "one
+        or more", and one is sufficient for the simulation because a single
+        QueryBolt object can process any number of queries.
+
+    Examples
+    --------
+    >>> from repro.graph import road_network
+    >>> from repro.core import DTLP, DTLPConfig
+    >>> from repro.distributed import StormTopology
+    >>> from repro.workloads import QueryGenerator
+    >>> graph = road_network(8, 8, seed=5)
+    >>> dtlp = DTLP(graph, DTLPConfig(z=12, xi=3)).build()
+    >>> topology = StormTopology(dtlp, num_workers=4)
+    >>> queries = QueryGenerator(graph, seed=1).generate(5, k=2)
+    >>> report = topology.run_queries(queries)
+    >>> len(report.results)
+    5
+    """
+
+    def __init__(
+        self,
+        dtlp: DTLP,
+        num_workers: int = 4,
+        query_bolts_per_worker: int = 1,
+    ) -> None:
+        if not dtlp.built:
+            raise ClusterError("the DTLP index must be built before deploying a topology")
+        if query_bolts_per_worker < 1:
+            raise ClusterError("query_bolts_per_worker must be at least 1")
+        self._dtlp = dtlp
+        self._cluster = SimulatedCluster(num_workers)
+        partition = dtlp.partition
+
+        # Balanced placement of subgraphs onto workers by vertex count.
+        loads = {
+            subgraph.subgraph_id: float(subgraph.num_vertices)
+            for subgraph in partition.subgraphs
+        }
+        assignment = self._cluster.assign_balanced(loads)
+        subgraphs_by_worker: Dict[int, List[int]] = {
+            worker_id: [] for worker_id in range(num_workers)
+        }
+        for subgraph_id, worker_id in assignment.items():
+            subgraphs_by_worker[worker_id].append(subgraph_id)
+
+        self._subgraph_bolts: List[SubgraphBolt] = []
+        for worker_id, subgraph_ids in subgraphs_by_worker.items():
+            bolt = SubgraphBolt(
+                name=f"subgraph-bolt-{worker_id}",
+                worker_id=worker_id,
+                cluster=self._cluster,
+                dtlp=dtlp,
+                subgraph_ids=subgraph_ids,
+            )
+            self._subgraph_bolts.append(bolt)
+
+        self._query_bolts: List[QueryBolt] = []
+        for worker_id in range(num_workers):
+            for replica in range(query_bolts_per_worker):
+                bolt = QueryBolt(
+                    name=f"query-bolt-{worker_id}-{replica}",
+                    worker_id=worker_id,
+                    cluster=self._cluster,
+                    dtlp=dtlp,
+                    subgraph_bolts=self._subgraph_bolts,
+                )
+                self._query_bolts.append(bolt)
+
+        self._spout = EntranceSpout(
+            cluster=self._cluster,
+            dtlp=dtlp,
+            subgraph_bolts=self._subgraph_bolts,
+            query_bolts=self._query_bolts,
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> SimulatedCluster:
+        """The simulated cluster hosting the topology."""
+        return self._cluster
+
+    @property
+    def dtlp(self) -> DTLP:
+        """The DTLP index served by the topology."""
+        return self._dtlp
+
+    @property
+    def subgraph_bolts(self) -> Sequence[SubgraphBolt]:
+        """The SubgraphBolt components."""
+        return tuple(self._subgraph_bolts)
+
+    @property
+    def query_bolts(self) -> Sequence[QueryBolt]:
+        """The QueryBolt components."""
+        return tuple(self._query_bolts)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def submit_weight_updates(self, updates: Sequence[WeightUpdate]) -> None:
+        """Route one batch of weight updates through the topology."""
+        self._spout.submit_weight_updates(updates)
+
+    def fail_worker(self, worker_id: int) -> int:
+        """Simulate the failure of one worker and reassign its subgraphs.
+
+        Storm restarts failed executors on the remaining workers; because
+        every worker already holds a replica of the skeleton graph and the
+        subgraph adjacency lists live in the shared graph store, recovery
+        amounts to re-hosting the failed worker's SubgraphBolts (and their
+        first-level indexes) elsewhere.  The failed worker's QueryBolts stop
+        receiving new queries.
+
+        Returns the number of subgraphs that were migrated.  Raises
+        :class:`~repro.graph.errors.ClusterError` when the id is unknown or
+        when it is the only worker left.
+        """
+        alive = [b.worker_id for b in self._subgraph_bolts if b.worker_id != worker_id]
+        if worker_id < 0 or worker_id >= self._cluster.num_workers:
+            raise ClusterError(f"no worker with id {worker_id}")
+        if not alive:
+            raise ClusterError("cannot fail the only remaining worker")
+
+        migrated = 0
+        failed_bolts = [b for b in self._subgraph_bolts if b.worker_id == worker_id]
+        surviving_bolts = [b for b in self._subgraph_bolts if b.worker_id != worker_id]
+        for bolt in failed_bolts:
+            for subgraph_id in sorted(bolt.subgraph_ids):
+                target = min(surviving_bolts, key=lambda b: len(b.subgraph_ids))
+                target.subgraph_ids.add(subgraph_id)
+                self._cluster.worker(target.worker_id).charge_memory(
+                    self._dtlp.subgraph_index(subgraph_id).memory_estimate_bytes()
+                )
+                migrated += 1
+            bolt.subgraph_ids.clear()
+        self._subgraph_bolts = surviving_bolts
+        self._query_bolts = [b for b in self._query_bolts if b.worker_id != worker_id]
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
+        if not self._query_bolts:
+            # Always keep at least one QueryBolt alive on a surviving worker.
+            survivor = surviving_bolts[0].worker_id
+            self._query_bolts = [
+                QueryBolt(
+                    name=f"query-bolt-{survivor}-recovered",
+                    worker_id=survivor,
+                    cluster=self._cluster,
+                    dtlp=self._dtlp,
+                    subgraph_bolts=self._subgraph_bolts,
+                )
+            ]
+        # Rewire the spout with the surviving components.
+        self._spout = EntranceSpout(
+            cluster=self._cluster,
+            dtlp=self._dtlp,
+            subgraph_bolts=self._subgraph_bolts,
+            query_bolts=self._query_bolts,
+        )
+        return migrated
+
+    def run_queries(self, queries: Sequence[KSPQuery], reset_metrics: bool = True) -> TopologyReport:
+        """Process a batch of queries and return the aggregate report.
+
+        Parameters
+        ----------
+        queries:
+            The batch of KSP queries.
+        reset_metrics:
+            When ``True`` (default) the cluster's time counters are reset
+            before the batch so the report reflects only this batch.
+        """
+        if reset_metrics:
+            self._cluster.reset_time()
+        results = [self._spout.submit_query(query) for query in queries]
+        report = TopologyReport(results=results)
+        report.makespan_seconds = self._cluster.makespan_seconds()
+        report.total_compute_seconds = self._cluster.total_compute_seconds()
+        report.communication_units = self._cluster.total_communication_units()
+        report.load_balance = self._cluster.load_balance_report()
+        return report

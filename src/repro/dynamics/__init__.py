@@ -1,0 +1,5 @@
+"""Dynamics: the traffic model that evolves edge weights over time."""
+
+from .traffic import TrafficModel
+
+__all__ = ["TrafficModel"]

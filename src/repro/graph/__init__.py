@@ -1,0 +1,61 @@
+"""Graph substrate: dynamic graphs, subgraphs, partitioning, generators, IO."""
+
+from .errors import (
+    ClusterError,
+    EdgeNotFoundError,
+    GraphError,
+    IndexStateError,
+    InvalidWeightError,
+    PartitionError,
+    PathNotFoundError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
+from .graph import DirectedDynamicGraph, DynamicGraph, WeightUpdate, edge_key
+from .partition import GraphPartition, partition_graph
+from .paths import Path, is_simple, merge_paths, path_edges
+from .subgraph import SortedUnitWeights, Subgraph
+from .generators import (
+    DATASET_SPECS,
+    RoadNetworkSpec,
+    dataset,
+    grid_graph,
+    random_graph,
+    road_network,
+)
+from .dimacs import read_coordinates, read_gr, write_gr
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "InvalidWeightError",
+    "PartitionError",
+    "PathNotFoundError",
+    "QueryError",
+    "IndexStateError",
+    "ClusterError",
+    "DynamicGraph",
+    "DirectedDynamicGraph",
+    "WeightUpdate",
+    "edge_key",
+    "GraphPartition",
+    "partition_graph",
+    "Path",
+    "is_simple",
+    "merge_paths",
+    "path_edges",
+    "Subgraph",
+    "SortedUnitWeights",
+    "RoadNetworkSpec",
+    "DATASET_SPECS",
+    "dataset",
+    "grid_graph",
+    "random_graph",
+    "road_network",
+    "read_gr",
+    "write_gr",
+    "read_coordinates",
+]

@@ -1,0 +1,378 @@
+"""Dynamic weighted graphs.
+
+This module implements the graph model of Definition 1 in the paper: a graph
+whose edge weights (travel times) change over time.  Two concrete classes are
+provided:
+
+* :class:`DynamicGraph` — an undirected dynamic graph stored as adjacency
+  dictionaries.  This is the primary data structure; road networks in the
+  paper are treated as undirected graphs unless stated otherwise.
+* :class:`DirectedDynamicGraph` — the directed variant used by the directed
+  CUSA experiments (Section 5.3 / 6.3).
+
+Both classes track, for every edge, the *initial* weight recorded when the
+edge was inserted.  The initial weight defines the number of *virtual
+fragments* (vfrags) used by the DTLP index: an edge with initial weight
+``w0`` consists of ``round(w0)`` vfrags whose unit weight is ``w / w0``.
+
+Weight updates are applied through :meth:`DynamicGraph.update_weight` /
+:meth:`DynamicGraph.apply_updates`, which also notify registered listeners —
+this is how the DTLP index and the CANDS baseline keep themselves current.
+
+The classes deliberately avoid depending on third-party graph libraries so
+the repository is a self-contained reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import (
+    EdgeNotFoundError,
+    InvalidWeightError,
+    VertexNotFoundError,
+)
+from .paths import Path
+
+__all__ = [
+    "WeightUpdate",
+    "edge_key",
+    "DynamicGraph",
+    "DirectedDynamicGraph",
+]
+
+
+def edge_key(u: int, v: int) -> Tuple[int, int]:
+    """Return the canonical (sorted) key of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class WeightUpdate:
+    """A single edge-weight change event.
+
+    Attributes
+    ----------
+    u, v:
+        Endpoints of the edge whose weight changes.
+    new_weight:
+        The weight after the change.
+    timestamp:
+        Optional logical timestamp (snapshot counter) of the change.
+    """
+
+    __slots__ = ("u", "v", "new_weight", "timestamp")
+
+    def __init__(self, u: int, v: int, new_weight: float, timestamp: int = 0) -> None:
+        if new_weight < 0 or math.isnan(new_weight):
+            raise InvalidWeightError(
+                f"weight of edge ({u}, {v}) must be non-negative, got {new_weight!r}"
+            )
+        self.u = u
+        self.v = v
+        self.new_weight = float(new_weight)
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightUpdate(u={self.u}, v={self.v}, "
+            f"new_weight={self.new_weight}, timestamp={self.timestamp})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightUpdate):
+            return NotImplemented
+        return (
+            self.u == other.u
+            and self.v == other.v
+            and self.new_weight == other.new_weight
+            and self.timestamp == other.timestamp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.u, self.v, self.new_weight, self.timestamp))
+
+
+UpdateListener = Callable[[Sequence[WeightUpdate]], None]
+
+
+class DynamicGraph:
+    """An undirected graph with mutable non-negative edge weights.
+
+    The graph keeps three pieces of state per edge: the *current* weight,
+    the *initial* weight (fixed at insertion time, used to derive virtual
+    fragments), and implicitly the number of vfrags
+    (``max(1, round(initial_weight))``).
+
+    Parameters
+    ----------
+    directed:
+        Internal flag used by :class:`DirectedDynamicGraph`; library users
+        should instantiate the directed subclass instead of passing ``True``.
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self._directed = directed
+        # vertex -> {neighbour -> current weight}
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+        # canonical edge key -> initial weight
+        self._initial_weights: Dict[Tuple[int, int], float] = {}
+        self._listeners: List[UpdateListener] = []
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def version(self) -> int:
+        """Monotone counter incremented on every batch of weight updates."""
+        return self._version
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the graph."""
+        return len(self._initial_weights)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over all edges as ``(u, v, current_weight)`` tuples.
+
+        For undirected graphs every edge is reported once with ``u <= v``;
+        for directed graphs every arc is reported in its stored direction.
+        """
+        for (u, v) in self._initial_weights:
+            yield u, v, self._adjacency[u][v]
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Return ``True`` when ``vertex`` is in the graph."""
+        return vertex in self._adjacency
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the edge ``(u, v)`` is in the graph."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def neighbors(self, vertex: int) -> Mapping[int, float]:
+        """Return the neighbour → weight mapping for ``vertex``.
+
+        The returned mapping is the live adjacency dictionary; callers must
+        not mutate it.
+        """
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: int) -> int:
+        """Number of incident edges (out-degree for directed graphs)."""
+        return len(self.neighbors(vertex))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int) -> None:
+        """Insert an isolated vertex (no-op if already present)."""
+        self._adjacency.setdefault(vertex, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert the edge ``(u, v)`` with the given initial weight.
+
+        Inserting an edge that already exists overwrites its current weight
+        but keeps the original initial weight, matching the paper's model in
+        which the vfrag count of an edge never changes.
+        """
+        if u == v:
+            raise InvalidWeightError(f"self-loop on vertex {u} is not allowed")
+        if weight < 0 or math.isnan(weight) or math.isinf(weight):
+            raise InvalidWeightError(
+                f"weight of edge ({u}, {v}) must be finite and non-negative, "
+                f"got {weight!r}"
+            )
+        self.add_vertex(u)
+        self.add_vertex(v)
+        key = self._key(u, v)
+        self._adjacency[u][v] = float(weight)
+        if not self._directed:
+            self._adjacency[v][u] = float(weight)
+        self._initial_weights.setdefault(key, float(weight) if weight > 0 else 1.0)
+
+    def _key(self, u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if self._directed else edge_key(u, v)
+
+    # ------------------------------------------------------------------
+    # weights and vfrags
+    # ------------------------------------------------------------------
+    def weight(self, u: int, v: int) -> float:
+        """Return the current weight of edge ``(u, v)``."""
+        try:
+            return self._adjacency[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def initial_weight(self, u: int, v: int) -> float:
+        """Return the weight the edge had when it was first inserted."""
+        key = self._key(u, v)
+        try:
+            return self._initial_weights[key]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def vfrag_count(self, u: int, v: int) -> int:
+        """Number of virtual fragments of edge ``(u, v)``.
+
+        Defined in Section 3.4 of the paper as the initial weight of the
+        edge; we round to the nearest integer and never go below one so the
+        decomposition stays meaningful for fractional travel times.
+        """
+        return max(1, int(round(self.initial_weight(u, v))))
+
+    def unit_weight(self, u: int, v: int) -> float:
+        """Current weight of one virtual fragment of edge ``(u, v)``."""
+        return self.weight(u, v) / self.vfrag_count(u, v)
+
+    def path_distance(self, vertices: Sequence[int]) -> float:
+        """Distance of the path ``vertices`` under the current weights."""
+        total = 0.0
+        for index in range(len(vertices) - 1):
+            total += self.weight(vertices[index], vertices[index + 1])
+        return total
+
+    def path(self, vertices: Sequence[int]) -> Path:
+        """Build a :class:`Path` for ``vertices`` using current weights."""
+        return Path(self.path_distance(vertices), tuple(vertices))
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: UpdateListener) -> None:
+        """Register a callback invoked after every batch of weight updates."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: UpdateListener) -> None:
+        """Unregister a previously added listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def update_weight(self, u: int, v: int, new_weight: float) -> WeightUpdate:
+        """Change the weight of one edge and notify listeners."""
+        update = WeightUpdate(u, v, new_weight, timestamp=self._version + 1)
+        self.apply_updates([update])
+        return update
+
+    def apply_updates(self, updates: Sequence[WeightUpdate]) -> None:
+        """Apply a batch of weight updates atomically and notify listeners.
+
+        All updates in the batch share the new graph version; listeners are
+        called once with the full batch so that index structures can process
+        the changes efficiently (Algorithm 2 in the paper updates the DTLP
+        per changed edge, but batching the notification avoids Python-level
+        overhead for large snapshots).
+        """
+        applied: List[WeightUpdate] = []
+        for update in updates:
+            u, v = update.u, update.v
+            if not self.has_edge(u, v):
+                raise EdgeNotFoundError(u, v)
+            self._adjacency[u][v] = update.new_weight
+            if not self._directed:
+                self._adjacency[v][u] = update.new_weight
+            applied.append(update)
+        if not applied:
+            return
+        self._version += 1
+        for listener in list(self._listeners):
+            listener(applied)
+
+    # ------------------------------------------------------------------
+    # snapshots and copies
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "DynamicGraph":
+        """Return a deep copy representing the current version (``G_curr``).
+
+        The paper processes each query against the most recent snapshot of
+        the evolving graph; this method produces such a snapshot.  Listeners
+        are not copied.
+        """
+        clone = DirectedDynamicGraph() if self._directed else DynamicGraph()
+        clone._adjacency = {v: dict(nbrs) for v, nbrs in self._adjacency.items()}
+        clone._initial_weights = dict(self._initial_weights)
+        clone._version = self._version
+        return clone
+
+    def subgraph_view(self, vertices: Iterable[int]) -> "DynamicGraph":
+        """Return a new graph induced by ``vertices`` (copies weights).
+
+        Initial weights are carried over so the vfrag decomposition of the
+        sub-graph agrees with the parent graph.
+        """
+        wanted = set(vertices)
+        clone = DirectedDynamicGraph() if self._directed else DynamicGraph()
+        for vertex in wanted:
+            if not self.has_vertex(vertex):
+                raise VertexNotFoundError(vertex)
+            clone.add_vertex(vertex)
+        for (u, v), w0 in self._initial_weights.items():
+            if u in wanted and v in wanted:
+                clone.add_edge(u, v, self._adjacency[u][v])
+                clone._initial_weights[clone._key(u, v)] = w0
+        return clone
+
+    def total_weight(self) -> float:
+        """Sum of current weights over all edges (useful for sanity checks)."""
+        return sum(self._adjacency[u][v] for (u, v) in self._initial_weights)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "DirectedDynamicGraph" if self._directed else "DynamicGraph"
+        return f"<{kind} |V|={self.num_vertices} |E|={self.num_edges} v{self._version}>"
+
+
+class DirectedDynamicGraph(DynamicGraph):
+    """Directed variant of :class:`DynamicGraph`.
+
+    Arcs ``(u, v)`` and ``(v, u)`` are independent edges with independent
+    weights and vfrag decompositions, matching the directed-graph discussion
+    in Section 5.3 of the paper.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(directed=True)
+
+    def reverse(self) -> "DirectedDynamicGraph":
+        """Return a new graph with every arc reversed (used by FindKSP's SPT)."""
+        reversed_graph = DirectedDynamicGraph()
+        for vertex in self.vertices():
+            reversed_graph.add_vertex(vertex)
+        for u, v, weight in self.edges():
+            reversed_graph.add_edge(v, u, weight)
+            reversed_graph._initial_weights[(v, u)] = self.initial_weight(u, v)
+        return reversed_graph

@@ -1,0 +1,26 @@
+"""Workloads: query generation, batch execution and mixed update/query driving."""
+
+from .driver import EpochStats, WorkloadDriver, WorkloadReport
+from .queries import KSPQuery, QueryGenerator
+from .runner import (
+    BatchReport,
+    BatchRunner,
+    FindKSPEngine,
+    QueryEngine,
+    QueryOutcome,
+    YenEngine,
+)
+
+__all__ = [
+    "KSPQuery",
+    "QueryGenerator",
+    "BatchReport",
+    "BatchRunner",
+    "FindKSPEngine",
+    "QueryEngine",
+    "QueryOutcome",
+    "YenEngine",
+    "EpochStats",
+    "WorkloadDriver",
+    "WorkloadReport",
+]

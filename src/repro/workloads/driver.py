@@ -1,0 +1,159 @@
+"""Mixed update/query workload driver.
+
+The paper's system runs continuously: edge-weight updates stream in from the
+road network while KSP queries arrive from users, and the evaluation reports
+steady-state metrics (throughput, latency, iteration counts).  This module
+provides :class:`WorkloadDriver`, which replays a configurable mix of traffic
+snapshots and query batches against a deployed topology (or a plain KSP-DG
+engine) and collects per-epoch statistics, making the "navigation service"
+style experiments of the examples reproducible as library calls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..core.dtlp import DTLP
+from ..core.ksp_dg import KSPDG
+from ..dynamics.traffic import TrafficModel
+from ..graph.graph import DynamicGraph
+from .queries import KSPQuery, QueryGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
+    # Imported lazily to avoid a circular import: repro.distributed builds on
+    # repro.workloads for its query types.
+    from ..distributed.topology import StormTopology
+
+__all__ = ["EpochStats", "WorkloadReport", "WorkloadDriver"]
+
+
+@dataclass
+class EpochStats:
+    """Metrics collected for one epoch (one traffic snapshot + one query batch)."""
+
+    epoch: int
+    num_updates: int = 0
+    maintenance_seconds: float = 0.0
+    num_queries: int = 0
+    query_seconds: float = 0.0
+    mean_iterations: float = 0.0
+    parallel_seconds: float = 0.0
+    communication_units: int = 0
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate metrics of a full workload run."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def total_updates(self) -> int:
+        """Total number of weight updates applied."""
+        return sum(epoch.num_updates for epoch in self.epochs)
+
+    @property
+    def total_queries(self) -> int:
+        """Total number of queries answered."""
+        return sum(epoch.num_queries for epoch in self.epochs)
+
+    @property
+    def total_maintenance_seconds(self) -> float:
+        """Total index-maintenance time."""
+        return sum(epoch.maintenance_seconds for epoch in self.epochs)
+
+    @property
+    def total_query_seconds(self) -> float:
+        """Total query-processing time (single-core)."""
+        return sum(epoch.query_seconds for epoch in self.epochs)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Mean KSP-DG iterations per query across all epochs."""
+        weighted = sum(epoch.mean_iterations * epoch.num_queries for epoch in self.epochs)
+        total = self.total_queries
+        return weighted / total if total else 0.0
+
+
+class WorkloadDriver:
+    """Replay interleaved traffic snapshots and query batches.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph (must be the one the index was built on).
+    dtlp:
+        A built DTLP index.  It is registered as a weight-update listener if
+        it is not already maintaining itself.
+    topology:
+        Optional simulated cluster deployment; when given, query batches run
+        through it (distributed execution and cost accounting), otherwise a
+        single-process :class:`~repro.core.ksp_dg.KSPDG` engine is used.
+    traffic:
+        Optional traffic model; defaults to the paper's alpha=35%, tau=30%.
+    query_generator:
+        Optional query generator; defaults to random queries at least three
+        hops apart.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        dtlp: DTLP,
+        topology: Optional["StormTopology"] = None,
+        traffic: Optional[TrafficModel] = None,
+        query_generator: Optional[QueryGenerator] = None,
+    ) -> None:
+        self._graph = graph
+        self._dtlp = dtlp
+        self._topology = topology
+        self._engine = None if topology is not None else KSPDG(dtlp)
+        self._traffic = traffic or TrafficModel(graph)
+        self._queries = query_generator or QueryGenerator(graph, seed=1, min_hops=3)
+        self._next_query_id = 0
+
+    def run(
+        self,
+        num_epochs: int,
+        queries_per_epoch: int,
+        k: int = 2,
+        updates_per_epoch: bool = True,
+    ) -> WorkloadReport:
+        """Run the workload and return per-epoch statistics.
+
+        Each epoch optionally applies one traffic snapshot (updating the
+        graph and the DTLP index) and then answers ``queries_per_epoch``
+        fresh queries with the configured execution backend.
+        """
+        report = WorkloadReport()
+        for epoch in range(1, num_epochs + 1):
+            stats = EpochStats(epoch=epoch)
+            if updates_per_epoch:
+                updates = self._traffic.generate_updates()
+                self._graph.apply_updates(updates)
+                stats.num_updates = len(updates)
+                stats.maintenance_seconds = self._dtlp.handle_updates(updates)
+            batch = [
+                self._queries.generate_one(self._next_query_id + offset, k)
+                for offset in range(queries_per_epoch)
+            ]
+            self._next_query_id += queries_per_epoch
+            stats.num_queries = len(batch)
+            started = time.perf_counter()
+            if self._topology is not None:
+                topo_report = self._topology.run_queries(batch)
+                stats.mean_iterations = topo_report.mean_iterations
+                stats.parallel_seconds = topo_report.makespan_seconds
+                stats.communication_units = topo_report.communication_units
+            else:
+                assert self._engine is not None
+                iterations = 0
+                for query in batch:
+                    result = self._engine.query(query.source, query.target, query.k)
+                    iterations += result.iterations
+                stats.mean_iterations = iterations / len(batch) if batch else 0.0
+            stats.query_seconds = time.perf_counter() - started
+            report.epochs.append(stats)
+        return report

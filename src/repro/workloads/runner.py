@@ -1,0 +1,182 @@
+"""Batch query runners for the engines compared in the evaluation.
+
+The paper compares three ways of answering batches of concurrent KSP queries:
+
+* **KSP-DG** on the distributed cluster (the proposal),
+* **Yen's algorithm**, centralized, replicated on every server with queries
+  spread randomly across servers,
+* **FindKSP**, centralized, replicated the same way.
+
+This module defines a small engine protocol (:class:`QueryEngine`) plus
+concrete engines for the two centralized baselines, and
+:class:`BatchRunner`, which executes a batch against an engine and records
+both the real wall-clock time and the *simulated parallel time* obtained by
+spreading queries over ``num_servers`` servers.  The distributed KSP-DG
+engine lives in :mod:`repro.distributed.engine` because it needs the
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..algorithms.find_ksp import find_ksp
+from ..algorithms.yen import yen_k_shortest_paths
+from ..graph.errors import PathNotFoundError
+from ..graph.graph import DynamicGraph
+from ..graph.paths import Path
+from .queries import KSPQuery
+
+__all__ = [
+    "QueryOutcome",
+    "BatchReport",
+    "QueryEngine",
+    "YenEngine",
+    "FindKSPEngine",
+    "BatchRunner",
+]
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one query run through an engine."""
+
+    query: KSPQuery
+    paths: List[Path] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    iterations: int = 0
+
+
+@dataclass
+class BatchReport:
+    """Aggregate result of running a batch of queries.
+
+    Attributes
+    ----------
+    engine_name:
+        Human-readable engine label used in benchmark tables.
+    outcomes:
+        Per-query outcomes in submission order.
+    total_cpu_seconds:
+        Sum of per-query processing times (single-core work).
+    parallel_seconds:
+        Simulated makespan when the work is spread over ``num_servers``
+        servers: queries are assigned to the least-loaded server greedily,
+        which models the paper's "distribute all queries to the adopted
+        servers randomly" with ideal balancing.
+    num_servers:
+        Number of servers assumed for the parallel-time model.
+    """
+
+    engine_name: str
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    total_cpu_seconds: float = 0.0
+    parallel_seconds: float = 0.0
+    num_servers: int = 1
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.outcomes)
+
+    @property
+    def mean_seconds_per_query(self) -> float:
+        """Average single-query processing time."""
+        if not self.outcomes:
+            return 0.0
+        return self.total_cpu_seconds / len(self.outcomes)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average number of iterations per query (KSP-DG only; 0 otherwise)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.iterations for outcome in self.outcomes) / len(self.outcomes)
+
+
+class QueryEngine(Protocol):
+    """Protocol every query engine implements."""
+
+    name: str
+
+    def answer(self, query: KSPQuery) -> QueryOutcome:
+        """Answer one query, returning the outcome with timing."""
+        ...
+
+
+class YenEngine:
+    """Centralized Yen's algorithm baseline."""
+
+    name = "Yen"
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self._graph = graph
+
+    def answer(self, query: KSPQuery) -> QueryOutcome:
+        """Answer one query with Yen's algorithm on the full graph."""
+        started = time.perf_counter()
+        try:
+            paths = yen_k_shortest_paths(self._graph, query.source, query.target, query.k)
+        except PathNotFoundError:
+            paths = []
+        elapsed = time.perf_counter() - started
+        return QueryOutcome(query=query, paths=paths, elapsed_seconds=elapsed)
+
+
+class FindKSPEngine:
+    """Centralized FindKSP baseline (SPT-guided deviations)."""
+
+    name = "FindKSP"
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self._graph = graph
+
+    def answer(self, query: KSPQuery) -> QueryOutcome:
+        """Answer one query with the FindKSP strategy on the full graph."""
+        started = time.perf_counter()
+        try:
+            paths = find_ksp(self._graph, query.source, query.target, query.k)
+        except PathNotFoundError:
+            paths = []
+        elapsed = time.perf_counter() - started
+        return QueryOutcome(query=query, paths=paths, elapsed_seconds=elapsed)
+
+
+class BatchRunner:
+    """Run query batches against an engine and model multi-server execution.
+
+    Parameters
+    ----------
+    engine:
+        Any object satisfying :class:`QueryEngine`.
+    num_servers:
+        Number of servers the workload is (conceptually) spread over when
+        computing the simulated parallel time.
+    """
+
+    def __init__(self, engine: QueryEngine, num_servers: int = 1) -> None:
+        if num_servers < 1:
+            raise ValueError("num_servers must be at least 1")
+        self._engine = engine
+        self._num_servers = num_servers
+
+    def run(self, queries: Sequence[KSPQuery]) -> BatchReport:
+        """Execute every query and compute the aggregate report."""
+        report = BatchReport(engine_name=self._engine.name, num_servers=self._num_servers)
+        for query in queries:
+            outcome = self._engine.answer(query)
+            report.outcomes.append(outcome)
+            report.total_cpu_seconds += outcome.elapsed_seconds
+        report.parallel_seconds = self._parallel_makespan(
+            [outcome.elapsed_seconds for outcome in report.outcomes]
+        )
+        return report
+
+    def _parallel_makespan(self, durations: Sequence[float]) -> float:
+        """Greedy longest-processing-time assignment of queries to servers."""
+        loads = [0.0] * self._num_servers
+        for duration in sorted(durations, reverse=True):
+            loads[loads.index(min(loads))] += duration
+        return max(loads) if loads else 0.0

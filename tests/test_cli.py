@@ -1,0 +1,78 @@
+"""Tests for repro.cli (command-line interface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "NY", "--scale", "0.3", "--out", "x.gr"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "NY"
+        assert args.out == "x.gr"
+
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "--dataset", "COL", "--source", "1", "--target", "2", "--k", "4"]
+        )
+        assert args.k == 4
+
+
+class TestCommands:
+    def test_generate_then_stats_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "tiny.gr"
+        code = main(["generate", "--dataset", "NY", "--scale", "0.25", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        code = main(["stats", "--gr", str(out), "--z", "16", "--xi", "2"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "num_subgraphs" in captured
+        assert "skeleton_vertices" in captured
+
+    def test_query_with_verification(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset", "NY",
+                "--scale", "0.25",
+                "--z", "16",
+                "--xi", "2",
+                "--source", "0",
+                "--target", "20",
+                "--k", "2",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "verification against Yen's algorithm: OK" in captured
+
+    def test_bench_command(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--dataset", "NY",
+                "--scale", "0.25",
+                "--z", "16",
+                "--xi", "2",
+                "--num-queries", "3",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "parallel time (s)" in captured
+
+    def test_missing_graph_source_fails(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--z", "16"])

@@ -1,0 +1,214 @@
+"""Tests for repro.algorithms.dijkstra (SSSP primitives and vfrag label search)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms import (
+    dijkstra,
+    k_lightest_paths_by_vfrags,
+    lightest_vfrag_paths_from_source,
+    shortest_distance,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.graph import DynamicGraph, PathNotFoundError, Subgraph, grid_graph, road_network
+
+
+def brute_force_shortest(graph, source, target):
+    """Exhaustive shortest path by enumerating all simple paths (tiny graphs only)."""
+    best = None
+    vertices = list(graph.vertices())
+
+    def extend(path, distance):
+        nonlocal best
+        last = path[-1]
+        if last == target:
+            if best is None or distance < best:
+                best = distance
+            return
+        for neighbor, weight in graph.neighbors(last).items():
+            if neighbor in path:
+                continue
+            extend(path + [neighbor], distance + weight)
+
+    extend([source], 0.0)
+    return best
+
+
+class TestDijkstra:
+    def test_simple_chain(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 2.0)
+        graph.add_edge(2, 3, 3.0)
+        distances, predecessors = dijkstra(graph, 1)
+        assert distances[3] == pytest.approx(5.0)
+        assert predecessors[3] == 2
+
+    def test_early_exit_at_target(self):
+        graph = grid_graph(5, 5)
+        distances, _ = dijkstra(graph, 0, target=1)
+        assert 1 in distances
+
+    def test_matches_brute_force_on_small_graphs(self):
+        graph = road_network(4, 4, seed=8)
+        for source, target in [(0, 15), (3, 12), (5, 10)]:
+            expected = brute_force_shortest(graph, source, target)
+            assert shortest_distance(graph, source, target) == pytest.approx(expected)
+
+    def test_banned_vertices(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        graph.add_edge(1, 3, 10.0)
+        distances, _ = dijkstra(graph, 1, banned_vertices={2})
+        assert distances[3] == pytest.approx(10.0)
+
+    def test_banned_edges(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        graph.add_edge(1, 3, 10.0)
+        distances, _ = dijkstra(graph, 1, banned_edges={(1, 2), (2, 1)})
+        assert distances[3] == pytest.approx(10.0)
+
+    def test_allowed_vertices_restricts_search(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        graph.add_edge(1, 4, 1.0)
+        graph.add_edge(4, 3, 1.0)
+        distances, _ = dijkstra(graph, 1, allowed_vertices={1, 2, 3})
+        assert 4 not in distances
+        assert distances[3] == pytest.approx(2.0)
+
+    def test_banned_source_returns_empty(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        distances, predecessors = dijkstra(graph, 1, banned_vertices={1})
+        assert distances == {}
+        assert predecessors == {}
+
+
+class TestShortestPath:
+    def test_path_reconstruction(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        path = shortest_path(graph, 1, 3)
+        assert path.vertices == (1, 2, 3)
+        assert path.distance == pytest.approx(2.0)
+
+    def test_source_equals_target(self):
+        graph = DynamicGraph()
+        graph.add_vertex(7)
+        path = shortest_path(graph, 7, 7)
+        assert path.vertices == (7,)
+        assert path.distance == 0.0
+
+    def test_unreachable_raises(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_vertex(9)
+        with pytest.raises(PathNotFoundError):
+            shortest_path(graph, 1, 9)
+
+    def test_works_on_subgraph_objects(self):
+        graph = road_network(5, 5, seed=1)
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        subgraph = Subgraph(0, graph, graph.vertices(), edges)
+        direct = shortest_path(graph, 0, 24)
+        via_subgraph = shortest_path(subgraph, 0, 24)
+        assert via_subgraph.distance == pytest.approx(direct.distance)
+
+
+class TestShortestPathTree:
+    def test_tree_distances_match_individual_queries(self):
+        graph = road_network(5, 5, seed=3)
+        distances, successors = shortest_path_tree(graph, 24)
+        for vertex in list(graph.vertices())[:10]:
+            assert distances[vertex] == pytest.approx(
+                shortest_distance(graph, vertex, 24)
+            )
+
+    def test_following_successors_reaches_destination(self):
+        graph = road_network(5, 5, seed=3)
+        distances, successors = shortest_path_tree(graph, 24)
+        vertex = 0
+        hops = 0
+        while vertex != 24:
+            vertex = successors[vertex]
+            hops += 1
+            assert hops < 100
+
+
+class TestVfragLabelSearch:
+    def make_subgraph(self, graph):
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        return Subgraph(0, graph, graph.vertices(), edges)
+
+    def test_minimum_count_is_vfrag_shortest(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        results = k_lightest_paths_by_vfrags(subgraph, 13, 14, max_distinct_counts=2)
+        assert results, "expected at least one bounding path"
+        counts = [count for count, _ in results]
+        # The fewest-vfrag path between 13 and 14 is <13,16,14> with 8 vfrags
+        assert counts[0] == 8
+        assert results[0][1] == (13, 16, 14)
+
+    def test_second_distinct_count_matches_paper_example3(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        results = k_lightest_paths_by_vfrags(subgraph, 13, 14, max_distinct_counts=2)
+        assert len(results) == 2
+        # Example 3: the second bounding path is <13,18,17,16,14> with 10 vfrags
+        assert results[1][0] == 10
+        assert results[1][1] == (13, 18, 17, 16, 14)
+
+    def test_xi_one_keeps_single_count(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        results = k_lightest_paths_by_vfrags(subgraph, 13, 14, max_distinct_counts=1)
+        assert len(results) == 1
+
+    def test_source_equals_target(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        assert k_lightest_paths_by_vfrags(subgraph, 13, 13, 3) == [(0, (13,))]
+
+    def test_counts_strictly_increasing_and_simple(self):
+        graph = road_network(5, 5, seed=6)
+        subgraph = self.make_subgraph(graph)
+        results = k_lightest_paths_by_vfrags(subgraph, 0, 24, max_distinct_counts=4)
+        counts = [count for count, _ in results]
+        assert counts == sorted(set(counts))
+        for _, vertices in results:
+            assert len(set(vertices)) == len(vertices)
+
+    def test_from_source_covers_all_reachable_targets(self):
+        graph = road_network(4, 4, seed=6)
+        subgraph = self.make_subgraph(graph)
+        per_target = lightest_vfrag_paths_from_source(subgraph, 0, max_distinct_counts=2)
+        assert set(per_target) == set(graph.vertices()) - {0}
+
+    def test_from_source_counts_match_pairwise(self):
+        graph = road_network(4, 4, seed=6)
+        subgraph = self.make_subgraph(graph)
+        per_target = lightest_vfrag_paths_from_source(subgraph, 0, max_distinct_counts=3)
+        for target in [5, 10, 15]:
+            pairwise = k_lightest_paths_by_vfrags(subgraph, 0, target, 3)
+            assert per_target[target][0][0] == pairwise[0][0]
+
+    def test_invalid_xi_rejected(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        with pytest.raises(ValueError):
+            lightest_vfrag_paths_from_source(subgraph, 13, max_distinct_counts=0)
+
+    def test_path_counts_equal_sum_of_edge_vfrags(self, sg4_graph):
+        subgraph = self.make_subgraph(sg4_graph)
+        results = k_lightest_paths_by_vfrags(subgraph, 13, 19, max_distinct_counts=3)
+        for count, vertices in results:
+            expected = sum(
+                subgraph.vfrag_count(vertices[index], vertices[index + 1])
+                for index in range(len(vertices) - 1)
+            )
+            assert count == expected

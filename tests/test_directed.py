@@ -1,0 +1,78 @@
+"""End-to-end tests on directed road networks (Section 5.3 of the paper)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import yen_k_shortest_paths
+from repro.core import DTLP, DTLPConfig, KSPDG
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+
+
+@pytest.fixture(scope="module")
+def directed_setup():
+    graph = road_network(6, 6, seed=17, directed=True)
+    dtlp = DTLP(graph, DTLPConfig(z=12, xi=2)).build()
+    return graph, dtlp
+
+
+class TestDirectedKSPDG:
+    def test_index_is_directed(self, directed_setup):
+        graph, dtlp = directed_setup
+        assert dtlp.config.directed
+        assert dtlp.skeleton_graph.directed
+
+    def test_queries_match_yen(self, directed_setup):
+        graph, dtlp = directed_setup
+        engine = KSPDG(dtlp)
+        rng = random.Random(2)
+        vertices = sorted(graph.vertices())
+        for _ in range(5):
+            source, target = rng.sample(vertices, 2)
+            expected = yen_k_shortest_paths(graph, source, target, 3)
+            result = engine.query(source, target, 3)
+            assert [round(d, 6) for d in result.distances] == [
+                round(p.distance, 6) for p in expected
+            ]
+
+    def test_asymmetric_weights_respected(self):
+        graph = road_network(5, 5, seed=19, directed=True)
+        # Make one direction of an arterial much slower.
+        u, v, weight = next(iter(graph.edges()))
+        graph.update_weight(u, v, weight * 10)
+        dtlp = DTLP(graph, DTLPConfig(z=10, xi=2)).build()
+        engine = KSPDG(dtlp)
+        forward = engine.query(u, v, 1).distances[0]
+        backward = engine.query(v, u, 1).distances[0]
+        expected_forward = yen_k_shortest_paths(graph, u, v, 1)[0].distance
+        expected_backward = yen_k_shortest_paths(graph, v, u, 1)[0].distance
+        assert forward == pytest.approx(expected_forward)
+        assert backward == pytest.approx(expected_backward)
+
+    def test_queries_match_yen_after_independent_direction_updates(self):
+        graph = road_network(5, 5, seed=23, directed=True)
+        dtlp = DTLP(graph, DTLPConfig(z=10, xi=2)).build()
+        graph.add_listener(dtlp.handle_updates)
+        engine = KSPDG(dtlp)
+        # Directed traffic: opposite arcs evolve independently.
+        model = TrafficModel(graph, alpha=0.4, tau=0.5, seed=3, correlated=False)
+        model.advance()
+        rng = random.Random(7)
+        vertices = sorted(graph.vertices())
+        for _ in range(3):
+            source, target = rng.sample(vertices, 2)
+            expected = yen_k_shortest_paths(graph, source, target, 2)
+            result = engine.query(source, target, 2)
+            assert [round(d, 6) for d in result.distances] == [
+                round(p.distance, 6) for p in expected
+            ]
+
+    def test_directed_index_has_more_bounding_paths_than_undirected(self):
+        undirected = road_network(5, 5, seed=29, directed=False)
+        directed = road_network(5, 5, seed=29, directed=True)
+        undirected_stats = DTLP(undirected, DTLPConfig(z=10, xi=2)).build().statistics()
+        directed_stats = DTLP(directed, DTLPConfig(z=10, xi=2)).build().statistics()
+        assert directed_stats.num_bounding_paths > undirected_stats.num_bounding_paths

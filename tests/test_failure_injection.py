@@ -1,0 +1,85 @@
+"""Failure-injection tests for the simulated cluster (worker loss and recovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import yen_k_shortest_paths
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+from repro.graph import ClusterError, road_network
+from repro.workloads import QueryGenerator
+
+
+@pytest.fixture()
+def topology_setup():
+    graph = road_network(7, 7, seed=31)
+    dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+    topology = StormTopology(dtlp, num_workers=4)
+    return graph, dtlp, topology
+
+
+class TestWorkerFailure:
+    def test_failed_worker_subgraphs_are_migrated(self, topology_setup):
+        _, dtlp, topology = topology_setup
+        owned_before = {
+            sid for bolt in topology.subgraph_bolts for sid in bolt.subgraph_ids
+        }
+        migrated = topology.fail_worker(0)
+        assert migrated > 0
+        owned_after = {
+            sid for bolt in topology.subgraph_bolts for sid in bolt.subgraph_ids
+        }
+        assert owned_after == owned_before == set(dtlp.subgraph_indexes())
+        assert all(bolt.worker_id != 0 for bolt in topology.subgraph_bolts)
+
+    def test_queries_stay_correct_after_failure(self, topology_setup):
+        graph, _, topology = topology_setup
+        queries = QueryGenerator(graph, seed=3, min_hops=3).generate(4, k=3)
+        topology.fail_worker(1)
+        report = topology.run_queries(queries)
+        for query, result in zip(queries, report.results):
+            expected = yen_k_shortest_paths(graph, query.source, query.target, query.k)
+            assert [round(p.distance, 6) for p in result.paths] == [
+                round(p.distance, 6) for p in expected
+            ]
+
+    def test_queries_stay_correct_after_multiple_failures(self, topology_setup):
+        graph, _, topology = topology_setup
+        topology.fail_worker(0)
+        topology.fail_worker(2)
+        queries = QueryGenerator(graph, seed=9, min_hops=3).generate(3, k=2)
+        report = topology.run_queries(queries)
+        for query, result in zip(queries, report.results):
+            expected = yen_k_shortest_paths(graph, query.source, query.target, query.k)
+            assert [round(p.distance, 6) for p in result.paths] == [
+                round(p.distance, 6) for p in expected
+            ]
+
+    def test_unknown_worker_rejected(self, topology_setup):
+        _, _, topology = topology_setup
+        with pytest.raises(ClusterError):
+            topology.fail_worker(99)
+
+    def test_cannot_fail_last_worker(self):
+        graph = road_network(5, 5, seed=31)
+        dtlp = DTLP(graph, DTLPConfig(z=10, xi=2)).build()
+        topology = StormTopology(dtlp, num_workers=1)
+        with pytest.raises(ClusterError):
+            topology.fail_worker(0)
+
+    def test_weight_updates_still_routed_after_failure(self, topology_setup):
+        graph, _, topology = topology_setup
+        from repro.dynamics import TrafficModel
+
+        topology.fail_worker(3)
+        model = TrafficModel(graph, alpha=0.3, tau=0.4, seed=5)
+        updates = model.advance()
+        topology.submit_weight_updates(updates)
+        queries = QueryGenerator(graph, seed=13, min_hops=3).generate(2, k=2)
+        report = topology.run_queries(queries)
+        for query, result in zip(queries, report.results):
+            expected = yen_k_shortest_paths(graph, query.source, query.target, query.k)
+            assert [round(p.distance, 6) for p in result.paths] == [
+                round(p.distance, 6) for p in expected
+            ]

@@ -1,0 +1,100 @@
+"""Tests for repro.core.lsh (MinHash signatures and LSH edge grouping)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MinHasher, jaccard_similarity, lsh_group_edges
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        hasher = MinHasher(num_hashes=8)
+        assert len(hasher.signature({1, 2, 3})) == 8
+
+    def test_identical_sets_same_signature(self):
+        hasher = MinHasher(num_hashes=8)
+        assert hasher.signature({1, 2, 3}) == hasher.signature({3, 2, 1})
+
+    def test_empty_set_sentinel(self):
+        hasher = MinHasher(num_hashes=4)
+        signature = hasher.signature(set())
+        assert len(set(signature)) == 1
+
+    def test_signature_estimates_jaccard(self):
+        """Signature agreement approximates Jaccard similarity for random sets."""
+        rng = random.Random(5)
+        hasher = MinHasher(num_hashes=128)
+        universe = list(range(200))
+        errors = []
+        for _ in range(10):
+            first = set(rng.sample(universe, 60))
+            second = set(rng.sample(universe, 60)) | set(rng.sample(sorted(first), 30))
+            expected = jaccard_similarity(first, second)
+            sig_first = hasher.signature(first)
+            sig_second = hasher.signature(second)
+            agreement = sum(a == b for a, b in zip(sig_first, sig_second)) / 128
+            errors.append(abs(agreement - expected))
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    def test_deterministic_for_seed(self):
+        assert MinHasher(seed=1).signature({5, 6}) == MinHasher(seed=1).signature({5, 6})
+
+
+class TestLSHGrouping:
+    def test_every_edge_appears_exactly_once(self):
+        path_sets = {
+            ("e", index): {index, index + 1, 100}
+            for index in range(10)
+        }
+        groups = lsh_group_edges(path_sets, num_hashes=8, num_bands=4)
+        flattened = [edge for group in groups for edge in group]
+        assert sorted(flattened, key=repr) == sorted(path_sets, key=repr)
+
+    def test_identical_path_sets_grouped_together(self):
+        path_sets = {
+            "a": {1, 2, 3},
+            "b": {1, 2, 3},
+            "c": {50, 60, 70},
+        }
+        groups = lsh_group_edges(path_sets, num_hashes=8, num_bands=4)
+        group_of = {edge: index for index, group in enumerate(groups) for edge in group}
+        assert group_of["a"] == group_of["b"]
+
+    def test_dissimilar_sets_usually_separate(self):
+        path_sets = {
+            "a": {1, 2, 3, 4},
+            "b": {101, 102, 103, 104},
+        }
+        groups = lsh_group_edges(path_sets, num_hashes=16, num_bands=2)
+        group_of = {edge: index for index, group in enumerate(groups) for edge in group}
+        assert group_of["a"] != group_of["b"]
+
+    def test_empty_input(self):
+        assert lsh_group_edges({}) == []
+
+    def test_invalid_band_configuration(self):
+        with pytest.raises(ValueError):
+            lsh_group_edges({"a": {1}}, num_hashes=10, num_bands=3)
+        with pytest.raises(ValueError):
+            lsh_group_edges({"a": {1}}, num_hashes=8, num_bands=0)

@@ -1,0 +1,56 @@
+"""Tests for repro.distributed.messages (Storm-style tuple types)."""
+
+from __future__ import annotations
+
+from repro.distributed import (
+    AttachmentRequestMessage,
+    AttachmentResponseMessage,
+    Message,
+    PartialPathsMessage,
+    QueryMessage,
+    ReferencePathMessage,
+    WeightUpdateMessage,
+)
+from repro.graph.paths import Path
+
+
+class TestMessageTypes:
+    def test_base_message_fields(self):
+        message = Message(sender="spout", recipient="bolt-1", payload_units=7)
+        assert message.sender == "spout"
+        assert message.recipient == "bolt-1"
+        assert message.payload_units == 7
+
+    def test_query_message(self):
+        message = QueryMessage(
+            sender="spout", recipient="query-bolt-0", query_id=3, source=1, target=9, k=2
+        )
+        assert message.query_id == 3
+        assert (message.source, message.target, message.k) == (1, 9, 2)
+
+    def test_weight_update_message(self):
+        message = WeightUpdateMessage(
+            sender="spout", recipient="subgraph-bolt-2", subgraph_id=5, num_updates=12
+        )
+        assert message.subgraph_id == 5
+        assert message.num_updates == 12
+
+    def test_reference_path_message_carries_path(self):
+        path = Path(4.0, (1, 2, 3))
+        message = ReferencePathMessage(
+            sender="query-bolt-0", recipient="subgraph-bolt-1",
+            query_id=1, reference_path=path,
+        )
+        assert message.reference_path is path
+
+    def test_partial_paths_message_default_empty(self):
+        message = PartialPathsMessage(sender="b", recipient="q", query_id=1)
+        assert message.pair_paths == {}
+
+    def test_attachment_messages(self):
+        request = AttachmentRequestMessage(sender="spout", recipient="b", query_id=1, vertex=5)
+        response = AttachmentResponseMessage(
+            sender="b", recipient="spout", query_id=1, vertex=5, bounds={2: 3.0}
+        )
+        assert request.vertex == response.vertex
+        assert response.bounds[2] == 3.0

@@ -1,0 +1,117 @@
+"""Tests for repro.core.mfp_tree (MFP-tree compression of the EP-Index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DTLP, DTLPConfig, build_mfp_forest, lsh_group_edges
+from repro.core.mfp_tree import MFPForest, MFPNode, MFPTree
+from repro.graph import road_network
+
+
+class TestMFPNode:
+    def test_ancestors_walk(self):
+        root = MFPNode(None)
+        a = root.add_child(MFPNode("p1"))
+        b = a.add_child(MFPNode("p2"))
+        tail = b.add_child(MFPNode("e1", is_tail=True, path_count=2))
+        assert set(tail.ancestors(2)) == {"p1", "p2"}
+        assert tail.ancestors(1) == ["p2"]
+
+
+class TestMFPTree:
+    def test_single_edge_roundtrip(self):
+        tree = MFPTree()
+        tree.insert("e1", ["p1", "p2", "p3"])
+        assert tree.paths_of_edge("e1") == {"p1", "p2", "p3"}
+
+    def test_unknown_edge_returns_empty(self):
+        tree = MFPTree()
+        assert tree.paths_of_edge("missing") == set()
+
+    def test_shared_prefix_compresses_nodes(self):
+        tree = MFPTree()
+        tree.insert("e1", ["p1", "p2", "p3"])
+        tree.insert("e2", ["p1", "p2", "p4"])
+        # 4 distinct path nodes instead of 6 thanks to the shared prefix, plus
+        # two tail nodes.
+        assert tree.num_path_nodes() == 4
+        assert tree.paths_of_edge("e2") == {"p1", "p2", "p4"}
+
+    def test_prefix_match_not_only_at_root(self):
+        tree = MFPTree()
+        tree.insert("e1", ["p1", "p2", "p3"])
+        # This sequence's prefix (p2, p3) exists mid-tree.
+        tree.insert("e2", ["p2", "p3"])
+        assert tree.paths_of_edge("e2") == {"p2", "p3"}
+
+    def test_empty_path_set(self):
+        tree = MFPTree()
+        tree.insert("e1", [])
+        assert tree.paths_of_edge("e1") == set()
+
+
+class TestMFPForest:
+    def make_path_sets(self):
+        return {
+            "e1": {"p1", "p2", "p3"},
+            "e2": {"p1", "p2"},
+            "e3": {"p4", "p5"},
+            "e4": {"p4", "p5", "p6"},
+        }
+
+    def test_roundtrip_for_every_edge(self):
+        path_sets = self.make_path_sets()
+        groups = [["e1", "e2"], ["e3", "e4"]]
+        forest = build_mfp_forest(path_sets, groups)
+        for edge, paths in path_sets.items():
+            assert forest.paths_of_edge(edge) == paths
+
+    def test_compression_ratio_below_one_for_similar_sets(self):
+        path_sets = self.make_path_sets()
+        groups = [["e1", "e2"], ["e3", "e4"]]
+        forest = build_mfp_forest(path_sets, groups)
+        assert forest.compression_ratio(path_sets) < 1.0
+
+    def test_unknown_edge_empty(self):
+        forest = MFPForest([])
+        assert forest.paths_of_edge("nope") == set()
+        assert forest.num_nodes() == 0
+
+    def test_memory_estimate(self):
+        path_sets = self.make_path_sets()
+        forest = build_mfp_forest(path_sets, [list(path_sets)])
+        assert forest.memory_estimate_bytes() > 0
+
+    def test_edges_missing_from_path_sets_skipped(self):
+        forest = build_mfp_forest({"e1": {"p1"}}, [["e1", "ghost"]])
+        assert forest.paths_of_edge("e1") == {"p1"}
+        assert forest.paths_of_edge("ghost") == set()
+
+
+class TestMFPIntegrationWithDTLP:
+    def test_forest_reproduces_ep_index_for_real_subgraphs(self):
+        graph = road_network(6, 6, seed=3)
+        dtlp = DTLP(graph, DTLPConfig(z=12, xi=2, build_mfp_trees=True)).build()
+        checked = 0
+        for subgraph_id, index in dtlp.subgraph_indexes().items():
+            forest = dtlp.mfp_forest(subgraph_id)
+            path_sets = index.ep_index.path_sets()
+            if forest is None or not path_sets:
+                continue
+            for edge, paths in path_sets.items():
+                assert forest.paths_of_edge(edge) == paths
+                checked += 1
+        assert checked > 0
+
+    def test_lsh_plus_forest_compresses_dense_subgraph(self):
+        graph = road_network(6, 6, seed=3)
+        dtlp = DTLP(graph, DTLPConfig(z=18, xi=3)).build()
+        # Pick the subgraph with the most EP-Index entries.
+        best = max(
+            dtlp.subgraph_indexes().values(), key=lambda idx: idx.ep_index.num_entries()
+        )
+        path_sets = best.ep_index.path_sets()
+        groups = lsh_group_edges(path_sets, num_hashes=16, num_bands=4)
+        forest = build_mfp_forest(path_sets, groups)
+        assert forest.compression_ratio(path_sets) <= 1.0

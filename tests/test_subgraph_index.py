@@ -1,0 +1,178 @@
+"""Tests for repro.core.subgraph_index (first-level DTLP index, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import shortest_distance
+from repro.core import SubgraphIndex
+from repro.graph import DynamicGraph, IndexStateError, Subgraph, WeightUpdate, road_network
+from repro.dynamics import TrafficModel
+
+from .conftest import apply_sg4_change
+
+
+def full_subgraph(graph, subgraph_id=0, boundary=None):
+    edges = [(u, v) for u, v, _ in graph.edges()]
+    subgraph = Subgraph(subgraph_id, graph, graph.vertices(), edges)
+    subgraph.set_boundary_vertices(boundary or graph.vertices())
+    return subgraph
+
+
+class TestBuild:
+    def test_indexes_every_connected_boundary_pair(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14, 19})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        pairs = set(index.boundary_pairs())
+        assert (13, 14) in pairs
+        assert (13, 19) in pairs
+        assert (14, 19) in pairs
+
+    def test_num_bounding_paths_positive(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        assert index.num_bounding_paths() == 2
+
+    def test_ep_index_populated(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        assert set(index.ep_index.paths_through_edge(13, 16)) != set()
+
+    def test_invalid_xi_rejected(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        with pytest.raises(ValueError):
+            SubgraphIndex(subgraph, xi=0)
+
+    def test_build_seconds_recorded(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        assert index.build_seconds >= 0.0
+
+    def test_directed_index_has_both_directions(self):
+        from repro.graph import DirectedDynamicGraph
+
+        graph = DirectedDynamicGraph()
+        graph.add_edge(1, 2, 2.0)
+        graph.add_edge(2, 1, 3.0)
+        graph.add_edge(2, 3, 2.0)
+        graph.add_edge(3, 2, 2.0)
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        subgraph = Subgraph(0, graph, graph.vertices(), edges)
+        subgraph.set_boundary_vertices({1, 3})
+        index = SubgraphIndex(subgraph, xi=1, directed=True).build()
+        pairs = set(index.boundary_pairs())
+        assert (1, 3) in pairs
+        assert (3, 1) in pairs
+
+
+class TestLowerBounds:
+    def test_exact_at_build_time_with_integer_weights(self, sg4_graph):
+        """With unit weights of 1 the lower bound equals the shortest distance."""
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14, 19})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        for source, target in [(13, 14), (13, 19), (14, 19)]:
+            expected = shortest_distance(sg4_graph, source, target)
+            assert index.lower_bound_distance(source, target) == pytest.approx(expected)
+
+    def test_lower_bound_after_sg4_change(self, sg4_graph):
+        """After the Figure 5b change the bound stays below the new shortest distance."""
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        updates = [
+            WeightUpdate(13, 18, 1.0),
+            WeightUpdate(18, 17, 1.0),
+            WeightUpdate(17, 16, 1.0),
+            WeightUpdate(17, 19, 6.0),
+        ]
+        apply_sg4_change(sg4_graph)
+        index.apply_updates(updates)
+        bound = index.lower_bound_distance(13, 14)
+        true_distance = shortest_distance(sg4_graph, 13, 14)
+        assert true_distance == pytest.approx(6.0)  # Example 2
+        assert bound <= true_distance + 1e-9
+
+    def test_lower_bounds_never_exceed_shortest_under_traffic(self):
+        graph = road_network(5, 5, seed=12)
+        subgraph = full_subgraph(graph, boundary={0, 4, 20, 24, 12})
+        index = SubgraphIndex(subgraph, xi=3).build()
+        model = TrafficModel(graph, alpha=0.5, tau=0.6, seed=3)
+        for _ in range(5):
+            updates = model.advance()
+            index.apply_updates(updates)
+            for source, target in [(0, 24), (4, 20), (0, 12), (12, 24)]:
+                bound = index.lower_bound_distance(source, target)
+                true_distance = shortest_distance(graph, source, target)
+                assert bound is not None
+                assert bound <= true_distance + 1e-6
+
+    def test_unconnected_pair_returns_none(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(3, 4, 1.0)
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        subgraph = Subgraph(0, graph, graph.vertices(), edges)
+        subgraph.set_boundary_vertices({1, 3})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        assert index.lower_bound_distance(1, 3) is None
+
+    def test_lower_bound_distances_bulk(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14, 19})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        bulk = index.lower_bound_distances()
+        assert len(bulk) == 3
+        for (source, target), value in bulk.items():
+            assert value == pytest.approx(index.lower_bound_distance(source, target))
+
+    def test_lower_bounds_from_vertex(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        bounds = index.lower_bounds_from_vertex(17)
+        assert bounds[13] == pytest.approx(shortest_distance(sg4_graph, 17, 13))
+        assert bounds[14] == pytest.approx(shortest_distance(sg4_graph, 17, 14))
+
+    def test_theorem1_claim1_example(self, theorem1_graphs):
+        """Figure 6b: the bound distance of the 4-vfrag chain equals its distance."""
+        graph_b, _ = theorem1_graphs
+        subgraph = full_subgraph(graph_b, boundary={0, 100})
+        index = SubgraphIndex(subgraph, xi=3).build()
+        # Claim 1: the lower bound equals the true shortest distance (8).
+        assert index.lower_bound_distance(0, 100) == pytest.approx(8.0)
+
+    def test_theorem1_claim2_example(self, theorem1_graphs):
+        """Figure 6d: the bound falls back to the maximal bound distance (4)."""
+        _, graph_d = theorem1_graphs
+        subgraph = full_subgraph(graph_d, boundary={0, 100})
+        index = SubgraphIndex(subgraph, xi=3).build()
+        bound = index.lower_bound_distance(0, 100)
+        true_distance = shortest_distance(graph_d, 0, 100)
+        assert true_distance == pytest.approx(5.0)
+        assert bound == pytest.approx(4.0)
+        assert bound <= true_distance
+
+
+class TestMaintenance:
+    def test_update_before_build_raises(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2)
+        with pytest.raises(IndexStateError):
+            index.apply_updates([WeightUpdate(13, 16, 2.0)])
+
+    def test_update_adjusts_path_distance(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        sg4_graph.update_weight(13, 16, 9.0)
+        affected = index.apply_updates([WeightUpdate(13, 16, 9.0)])
+        assert (13, 14) in affected
+        first_path = index.bounding_paths(13, 14)[0]
+        assert first_path.distance == pytest.approx(12.0)
+
+    def test_update_to_edge_outside_subgraph_ignored(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        affected = index.apply_updates([WeightUpdate(100, 101, 5.0)])
+        assert affected == set()
+
+    def test_memory_estimate_positive(self, sg4_graph):
+        subgraph = full_subgraph(sg4_graph, boundary={13, 14})
+        index = SubgraphIndex(subgraph, xi=2).build()
+        assert index.memory_estimate_bytes() > 0

@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.driver (mixed update/query workload driving)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+from repro.workloads import QueryGenerator, WorkloadDriver
+
+
+@pytest.fixture()
+def workload_setup():
+    graph = road_network(6, 6, seed=41)
+    dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+    return graph, dtlp
+
+
+class TestWorkloadDriver:
+    def test_single_process_run_collects_stats(self, workload_setup):
+        graph, dtlp = workload_setup
+        driver = WorkloadDriver(
+            graph,
+            dtlp,
+            traffic=TrafficModel(graph, alpha=0.3, tau=0.3, seed=2, direction="increase"),
+        )
+        report = driver.run(num_epochs=3, queries_per_epoch=2, k=2)
+        assert len(report.epochs) == 3
+        assert report.total_queries == 6
+        assert report.total_updates > 0
+        assert report.total_maintenance_seconds >= 0
+        assert report.total_query_seconds > 0
+        assert report.mean_iterations >= 1
+
+    def test_distributed_run_reports_cluster_metrics(self, workload_setup):
+        graph, dtlp = workload_setup
+        topology = StormTopology(dtlp, num_workers=3)
+        driver = WorkloadDriver(
+            graph,
+            dtlp,
+            topology=topology,
+            traffic=TrafficModel(graph, alpha=0.3, tau=0.3, seed=2, direction="increase"),
+        )
+        report = driver.run(num_epochs=2, queries_per_epoch=2, k=2)
+        assert all(epoch.parallel_seconds > 0 for epoch in report.epochs)
+        assert all(epoch.communication_units > 0 for epoch in report.epochs)
+
+    def test_updates_can_be_disabled(self, workload_setup):
+        graph, dtlp = workload_setup
+        version_before = graph.version
+        driver = WorkloadDriver(graph, dtlp)
+        report = driver.run(num_epochs=2, queries_per_epoch=1, k=2, updates_per_epoch=False)
+        assert graph.version == version_before
+        assert report.total_updates == 0
+        assert report.total_queries == 2
+
+    def test_queries_remain_exact_during_workload(self, workload_setup):
+        from repro.algorithms import yen_k_shortest_paths
+        from repro.core import KSPDG
+
+        graph, dtlp = workload_setup
+        driver = WorkloadDriver(
+            graph,
+            dtlp,
+            traffic=TrafficModel(graph, alpha=0.4, tau=0.4, seed=5),
+            query_generator=QueryGenerator(graph, seed=9, min_hops=3),
+        )
+        driver.run(num_epochs=2, queries_per_epoch=2, k=2)
+        # After the workload the index must still answer exactly.
+        engine = KSPDG(dtlp)
+        result = engine.query(0, 35, 3)
+        expected = yen_k_shortest_paths(graph, 0, 35, 3)
+        assert [round(d, 6) for d in result.distances] == [
+            round(p.distance, 6) for p in expected
+        ]
+
+    def test_empty_epoch_mean_iterations(self, workload_setup):
+        graph, dtlp = workload_setup
+        driver = WorkloadDriver(graph, dtlp)
+        report = driver.run(num_epochs=0, queries_per_epoch=5)
+        assert report.mean_iterations == 0.0
+        assert report.total_queries == 0
