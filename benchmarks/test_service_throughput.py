@@ -1,0 +1,90 @@
+"""Serving-layer throughput: served queries/sec with the cache on vs off.
+
+Not a paper figure — the paper only reports offline batch metrics — but the
+serving layer added on top (result cache, coalescing, micro-batching) needs
+its own perf baseline so future PRs can tell whether they moved it.  The
+benchmark replays the same mixed update/query trace (repeating
+origin/destination pairs, periodic traffic snapshots) through a
+:class:`~repro.service.server.KSPService` once with the result cache enabled
+and once without, and reports served queries/sec plus latency percentiles
+for both configurations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_experiment
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+from repro.service import KSPService, generate_trace, replay
+from repro.workloads import YenEngine
+
+
+def _run(graph_seed, side, num_queries, update_rounds, enable_cache):
+    graph = road_network(side, side, seed=graph_seed)
+    traffic = TrafficModel(graph, alpha=0.05, tau=0.3, seed=graph_seed)
+    service = KSPService(
+        graph,
+        YenEngine(graph),
+        traffic=traffic,
+        enable_cache=enable_cache,
+        queue_capacity=max(64, num_queries),
+    )
+    trace = generate_trace(
+        graph,
+        num_queries=num_queries,
+        update_rounds=update_rounds,
+        k=2,
+        seed=graph_seed,
+        repeat_fraction=0.6,
+    )
+    started = time.perf_counter()
+    outcome = replay(service, trace, validate=True)
+    elapsed = time.perf_counter() - started
+    service.close()
+    assert outcome.stale_served == 0
+    return outcome, elapsed
+
+
+@pytest.mark.paper_figure("service")
+def test_service_throughput_cache_on_vs_off(scale, benchmark):
+    side = 10 if scale.name == "quick" else 16
+    num_queries = 300 if scale.name == "quick" else 1000
+    update_rounds = 30 if scale.name == "quick" else 100
+
+    rows = []
+    throughputs = {}
+    for enable_cache in (True, False):
+        outcome, elapsed = _run(23, side, num_queries, update_rounds, enable_cache)
+        report = outcome.report
+        qps = outcome.num_served / elapsed if elapsed else float("inf")
+        throughputs[enable_cache] = qps
+        rows.append(
+            [
+                "on" if enable_cache else "off",
+                outcome.num_served,
+                round(qps, 1),
+                round(report.hit_rate, 3),
+                report.unique_computations,
+                round(report.latency_p50_ms, 3),
+                round(report.latency_p99_ms, 3),
+            ]
+        )
+
+    def kernel():
+        return _run(23, side, num_queries // 3, update_rounds // 3, True)
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print_experiment(
+        "Serving layer: throughput and latency, result cache on vs off",
+        ["cache", "served", "queries/s", "hit rate", "computations", "p50 (ms)", "p99 (ms)"],
+        rows,
+        notes="same mixed trace (60% repeating OD pairs, periodic snapshots) both runs; "
+        "zero stale results asserted in both configurations",
+    )
+    # Caching must not make serving slower on a repeat-heavy trace.
+    assert throughputs[True] >= throughputs[False] * 0.9

@@ -15,6 +15,12 @@ queries over dynamic road networks:
   per-worker cost accounting (spouts, bolts, topology).
 * :mod:`repro.dynamics` — the traffic model that evolves edge weights.
 * :mod:`repro.workloads` — query generation and batch runners.
+* :mod:`repro.service` — the online serving layer: a long-lived
+  :class:`~repro.service.server.KSPService` with a result cache
+  (update-scoped invalidation), a coalescing bounded admission queue with
+  micro-batching and load shedding, a maintenance loop interleaving traffic
+  snapshots with query batches, latency/hit-rate telemetry, and a trace
+  replay driver (``repro replay`` / ``repro serve``).
 * :mod:`repro.bench` — the experiment harness used by ``benchmarks/``.
 
 Quickstart
@@ -26,6 +32,14 @@ Quickstart
 >>> result = engine.query(0, 99, k=3)
 >>> len(result.paths)
 3
+
+Serving quickstart (see ``examples/live_service.py`` for the full loop)
+-----------------------------------------------------------------------
+>>> from repro import KSPService, YenEngine, generate_trace, replay
+>>> service = KSPService(graph, YenEngine(graph))
+>>> outcome = replay(service, generate_trace(graph, 100, 10), validate=True)
+>>> outcome.stale_served
+0
 """
 
 from .algorithms import (
@@ -67,6 +81,18 @@ from .graph import (
     partition_graph,
     random_graph,
     road_network,
+)
+from .service import (
+    KSPService,
+    ReplayResult,
+    RequestPipeline,
+    ResultCache,
+    ServedQuery,
+    ServiceOverloadedError,
+    ServiceReport,
+    TraceEvent,
+    generate_trace,
+    replay,
 )
 from .workloads import (
     BatchReport,
@@ -129,4 +155,15 @@ __all__ = [
     "BatchReport",
     "YenEngine",
     "FindKSPEngine",
+    # service
+    "KSPService",
+    "ResultCache",
+    "RequestPipeline",
+    "ServedQuery",
+    "ServiceReport",
+    "ServiceOverloadedError",
+    "TraceEvent",
+    "ReplayResult",
+    "generate_trace",
+    "replay",
 ]

@@ -6,13 +6,19 @@ The CLI exposes the main workflows without writing Python code::
     python -m repro stats    --dataset NY --z 48 --xi 5
     python -m repro query    --dataset NY --source 0 --target 200 --k 3
     python -m repro bench    --dataset NY --num-queries 20 --workers 4
+    python -m repro replay   --dataset NY --num-queries 500 --update-rounds 50
+    python -m repro serve    --dataset NY --epochs 10 --queries-per-epoch 40
 
 ``generate`` writes a synthetic road network in DIMACS ``.gr`` format;
 ``stats`` builds a DTLP index and prints its statistics; ``query`` answers a
 single KSP query (and cross-checks it against Yen's algorithm); ``bench``
 runs a query batch on the simulated cluster and prints the cost report.
-Every command accepts either ``--dataset`` (one of NY, COL, FLA, CUSA, a
-scaled synthetic analogue) or ``--gr`` (path to a DIMACS file).
+``replay`` replays a reproducible mixed update/query trace through the
+online serving layer (:mod:`repro.service`) and prints the service report;
+``serve`` runs the serving loop epoch by epoch (one traffic snapshot plus
+one query wave per epoch), printing rolling per-epoch lines and the final
+report.  Every command accepts either ``--dataset`` (one of NY, COL, FLA,
+CUSA, a scaled synthetic analogue) or ``--gr`` (path to a DIMACS file).
 """
 
 from __future__ import annotations
@@ -24,10 +30,11 @@ from typing import List, Optional, Sequence
 from .algorithms import yen_k_shortest_paths
 from .bench.reporting import format_table
 from .core import DTLP, DTLPConfig, KSPDG
-from .distributed import StormTopology
+from .distributed import KSPDGEngine, StormTopology
 from .dynamics import TrafficModel
 from .graph import DynamicGraph, dataset, read_gr, write_gr
-from .workloads import QueryGenerator
+from .service import KSPService, ServiceOverloadedError, generate_trace, replay
+from .workloads import FindKSPEngine, QueryEngine, QueryGenerator, YenEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +86,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--alpha", type=float, default=0.0,
                        help="apply one traffic snapshot changing this fraction of edges first")
     bench.add_argument("--tau", type=float, default=0.3)
+
+    def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--z", type=int, default=48)
+        sub.add_argument("--xi", type=int, default=3)
+        sub.add_argument("--k", type=int, default=2)
+        sub.add_argument("--engine", choices=["kspdg", "yen", "findksp"], default="kspdg",
+                         help="query engine serving cache misses (default kspdg)")
+        sub.add_argument("--workers", type=int, default=4,
+                         help="simulated workers for the kspdg engine")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache (every query computes)")
+        sub.add_argument("--cache-capacity", type=int, default=4096)
+        sub.add_argument("--invalidation", choices=["scoped", "full"], default="scoped",
+                         help="cache invalidation mode on weight updates")
+        sub.add_argument("--queue-capacity", type=int, default=256,
+                         help="admission queue bound before load shedding")
+        sub.add_argument("--batch-size", type=int, default=16,
+                         help="micro-batch size of the request pipeline")
+        sub.add_argument("--alpha", type=float, default=0.05,
+                         help="fraction of edges changed per traffic snapshot")
+        sub.add_argument("--tau", type=float, default=0.3,
+                         help="relative weight variation per snapshot")
+
+    replay_cmd = subparsers.add_parser(
+        "replay", help="replay a mixed update/query trace through the serving layer")
+    add_graph_arguments(replay_cmd)
+    add_service_arguments(replay_cmd)
+    replay_cmd.add_argument("--num-queries", type=int, default=500)
+    replay_cmd.add_argument("--update-rounds", type=int, default=50)
+    replay_cmd.add_argument("--repeat-fraction", type=float, default=0.5,
+                            help="fraction of queries repeating earlier OD pairs")
+    replay_cmd.add_argument("--validate", action="store_true",
+                            help="re-price every served path against current weights")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the serving loop: one traffic snapshot + one query wave per epoch")
+    add_graph_arguments(serve)
+    add_service_arguments(serve)
+    serve.add_argument("--epochs", type=int, default=10)
+    serve.add_argument("--queries-per-epoch", type=int, default=40)
 
     return parser
 
@@ -137,7 +184,7 @@ def _command_bench(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
     if args.alpha > 0:
-        graph.add_listener(dtlp.handle_updates)
+        dtlp.attach()
         TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
     topology = StormTopology(dtlp, num_workers=args.workers)
     queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
@@ -157,11 +204,93 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
+    """Assemble the serving stack requested by the service CLI arguments."""
+    dtlp: Optional[DTLP] = None
+    engine: QueryEngine
+    if args.engine == "yen":
+        engine = YenEngine(graph)
+    elif args.engine == "findksp":
+        engine = FindKSPEngine(graph)
+    else:
+        dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+        engine = KSPDGEngine.local(dtlp, num_workers=args.workers)
+    traffic = TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed)
+    return KSPService(
+        graph,
+        engine,
+        dtlp=dtlp,
+        traffic=traffic,
+        enable_cache=not args.no_cache,
+        cache_capacity=args.cache_capacity,
+        invalidation_mode=args.invalidation,
+        queue_capacity=args.queue_capacity,
+        max_batch_size=args.batch_size,
+    )
+
+
+def _print_report(service: KSPService) -> None:
+    rows = [[key, value] for key, value in service.report().as_dict().items()]
+    print(format_table(["metric", "value"], rows))
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    service = _build_service(args, graph)
+    trace = generate_trace(
+        graph,
+        num_queries=args.num_queries,
+        update_rounds=args.update_rounds,
+        k=args.k,
+        seed=args.seed,
+        repeat_fraction=args.repeat_fraction,
+        alpha=args.alpha,
+        tau=args.tau,
+    )
+    outcome = replay(service, trace, validate=args.validate)
+    print(f"replayed {len(trace)} events: {outcome.num_served} served, "
+          f"{outcome.num_shed} shed")
+    if args.validate:
+        print(f"stale served results: {outcome.stale_served}")
+    _print_report(service)
+    service.close()
+    return 1 if (args.validate and outcome.stale_served) else 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    service = _build_service(args, graph)
+    queries = QueryGenerator(graph, seed=args.seed, min_hops=2)
+    next_query_id = 0
+    for epoch in range(1, args.epochs + 1):
+        updates = service.maintenance_step()
+        shed_before = service.pipeline.shed
+        # The epoch's queries arrive as one burst (concurrent users), so a
+        # wave larger than the admission queue genuinely sheds its overflow.
+        for offset in range(args.queries_per_epoch):
+            query = queries.generate_one(next_query_id + offset, args.k)
+            try:
+                service.submit(query)
+            except ServiceOverloadedError:
+                pass  # recorded by the pipeline's shed counter
+        next_query_id += args.queries_per_epoch
+        answers = service.drain()
+        hits = sum(1 for answer in answers if answer.from_cache)
+        shed = service.pipeline.shed - shed_before
+        print(f"epoch {epoch:3d}: {len(updates)} updates applied, "
+              f"{len(answers)} queries served ({hits} from cache, {shed} shed)")
+    _print_report(service)
+    service.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
     "query": _command_query,
     "bench": _command_bench,
+    "replay": _command_replay,
+    "serve": _command_serve,
 }
 
 

@@ -149,6 +149,7 @@ class DTLP:
         self._built = False
         self._build_seconds = 0.0
         self._last_maintenance_seconds = 0.0
+        self._attached = False
 
     # ------------------------------------------------------------------
     # accessors
@@ -262,6 +263,34 @@ class DTLP:
     # ------------------------------------------------------------------
     # maintenance (Algorithm 2)
     # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """Whether the index is registered as a graph update listener."""
+        return self._attached
+
+    def attach(self) -> "DTLP":
+        """Register :meth:`handle_updates` as a listener on the graph.
+
+        Idempotent: attaching twice keeps a single registration, and an
+        index already registered directly via
+        ``graph.add_listener(dtlp.handle_updates)`` is recognised and not
+        registered a second time (which would double maintenance work), so
+        callers that receive a possibly-already-maintained index (the
+        serving layer, the workload driver) can call this unconditionally.
+        Returns ``self`` for chaining with :meth:`build`.
+        """
+        if not self._attached:
+            if not self._graph.has_listener(self.handle_updates):
+                self._graph.add_listener(self.handle_updates)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Unregister the index from the graph (no-op when not attached)."""
+        if self._attached:
+            self._graph.remove_listener(self.handle_updates)
+            self._attached = False
+
     def handle_updates(self, updates: Sequence[WeightUpdate]) -> float:
         """Refresh the index after a batch of edge-weight updates.
 

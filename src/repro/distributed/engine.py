@@ -39,6 +39,17 @@ class KSPDGEngine:
     def __init__(self, topology: StormTopology) -> None:
         self._topology = topology
 
+    @classmethod
+    def local(cls, dtlp: DTLP, num_workers: int = 4) -> "KSPDGEngine":
+        """Build an engine on a fresh simulated topology over ``dtlp``.
+
+        Convenience used by the serving layer and the CLI: the topology
+        shares the live graph and index objects, so weight updates applied
+        through the graph (and propagated with ``dtlp.attach()``) are
+        immediately visible to subsequent queries.
+        """
+        return cls(StormTopology(dtlp, num_workers=num_workers))
+
     @property
     def topology(self) -> StormTopology:
         """The underlying simulated topology."""

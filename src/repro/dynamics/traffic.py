@@ -122,6 +122,18 @@ class TrafficModel:
             )
         return updates
 
+    def pregenerate(self, num_snapshots: int) -> List[List[WeightUpdate]]:
+        """Generate ``num_snapshots`` rounds of updates without applying any.
+
+        Because updated weights vary around each edge's *initial* weight
+        (not its current weight), generation does not depend on the graph's
+        evolving state: pre-generating a sequence of rounds and applying
+        them later yields exactly the snapshots :meth:`advance` would have
+        produced live.  The trace-replay driver of the serving layer relies
+        on this to build reproducible mixed update/query traces up front.
+        """
+        return [self.generate_updates() for _ in range(num_snapshots)]
+
     def advance(self) -> List[WeightUpdate]:
         """Generate one snapshot of updates and apply them to the graph.
 

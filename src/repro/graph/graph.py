@@ -129,6 +129,8 @@ class DynamicGraph:
         self._initial_weights: Dict[Tuple[int, int], float] = {}
         self._listeners: List[UpdateListener] = []
         self._version = 0
+        # canonical edge key -> version at which the edge last changed weight
+        self._edge_versions: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # basic properties
@@ -252,6 +254,31 @@ class DynamicGraph:
         """Current weight of one virtual fragment of edge ``(u, v)``."""
         return self.weight(u, v) / self.vfrag_count(u, v)
 
+    def edge_version(self, u: int, v: int) -> int:
+        """Graph version at which edge ``(u, v)`` last changed weight.
+
+        Returns 0 for edges that still carry their insertion-time weight.
+        The counter lets caches and other derived structures decide whether
+        a value computed at version ``t`` can still be trusted: a path
+        computed at ``t`` has an exact distance iff every edge on it has
+        ``edge_version(u, v) <= t``.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        return self._edge_versions.get(self._key(u, v), 0)
+
+    def path_version(self, vertices: Sequence[int]) -> int:
+        """Largest :meth:`edge_version` along the path ``vertices``.
+
+        A cached result computed at graph version ``t`` remains
+        distance-exact while ``path_version(p) <= t`` for every path ``p``
+        it contains.
+        """
+        newest = 0
+        for index in range(len(vertices) - 1):
+            newest = max(newest, self.edge_version(vertices[index], vertices[index + 1]))
+        return newest
+
     def path_distance(self, vertices: Sequence[int]) -> float:
         """Distance of the path ``vertices`` under the current weights."""
         total = 0.0
@@ -269,6 +296,15 @@ class DynamicGraph:
     def add_listener(self, listener: UpdateListener) -> None:
         """Register a callback invoked after every batch of weight updates."""
         self._listeners.append(listener)
+
+    def has_listener(self, listener: UpdateListener) -> bool:
+        """Return ``True`` when ``listener`` is currently registered.
+
+        Bound methods compare equal per instance, so
+        ``graph.has_listener(index.handle_updates)`` answers whether that
+        index is already wired up — used by idempotent attach helpers.
+        """
+        return listener in self._listeners
 
     def remove_listener(self, listener: UpdateListener) -> None:
         """Unregister a previously added listener (no-op when absent)."""
@@ -292,11 +328,15 @@ class DynamicGraph:
         per changed edge, but batching the notification avoids Python-level
         overhead for large snapshots).
         """
+        # Validate the whole batch before touching any weight so a bad
+        # update cannot leave the graph half-applied with no version bump
+        # or listener notification (atomicity, as promised above).
+        for update in updates:
+            if not self.has_edge(update.u, update.v):
+                raise EdgeNotFoundError(update.u, update.v)
         applied: List[WeightUpdate] = []
         for update in updates:
             u, v = update.u, update.v
-            if not self.has_edge(u, v):
-                raise EdgeNotFoundError(u, v)
             self._adjacency[u][v] = update.new_weight
             if not self._directed:
                 self._adjacency[v][u] = update.new_weight
@@ -304,6 +344,8 @@ class DynamicGraph:
         if not applied:
             return
         self._version += 1
+        for update in applied:
+            self._edge_versions[self._key(update.u, update.v)] = self._version
         for listener in list(self._listeners):
             listener(applied)
 
@@ -321,6 +363,7 @@ class DynamicGraph:
         clone._adjacency = {v: dict(nbrs) for v, nbrs in self._adjacency.items()}
         clone._initial_weights = dict(self._initial_weights)
         clone._version = self._version
+        clone._edge_versions = dict(self._edge_versions)
         return clone
 
     def subgraph_view(self, vertices: Iterable[int]) -> "DynamicGraph":

@@ -1,0 +1,33 @@
+"""Exceptions raised by the online serving layer."""
+
+from __future__ import annotations
+
+from ..graph.errors import ReproError
+
+__all__ = ["ServiceError", "ServiceOverloadedError", "ServiceClosedError"]
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the admission queue is full and a request is shed.
+
+    Carries the rejected query's key and the queue capacity so callers
+    (load generators, API front-ends) can implement backpressure or retry
+    policies without parsing the message.
+    """
+
+    def __init__(self, key: tuple, capacity: int) -> None:
+        source, target, k = key
+        super().__init__(
+            f"admission queue full (capacity {capacity}); "
+            f"shed query ({source}, {target}, k={k})"
+        )
+        self.key = key
+        self.capacity = capacity
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is submitted to a service that was closed."""

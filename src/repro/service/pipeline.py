@@ -1,0 +1,129 @@
+"""Admission queue with request coalescing and micro-batching.
+
+The request pipeline models the front door of an online KSP service:
+
+* **bounded admission** — at most ``capacity`` distinct answers may be
+  pending at once; submissions beyond that are shed with a typed
+  :class:`~repro.service.errors.ServiceOverloadedError` so upstream load
+  balancers get an explicit backpressure signal instead of unbounded queue
+  growth;
+* **dedup / coalescing** — a query identical to one already in flight
+  (same ``(source, target, k)`` key) attaches to the pending slot instead
+  of occupying new capacity; the answer is computed once and fanned out to
+  every waiter, which is how navigation services survive everyone asking
+  for the same stadium-to-station route at once;
+* **micro-batching** — the server drains the queue in FIFO batches of at
+  most ``max_batch_size`` distinct keys, amortising per-batch costs and
+  giving the maintenance loop well-defined points to interleave weight
+  updates (queries never observe a weight change mid-batch).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..workloads.queries import KSPQuery
+from .errors import ServiceOverloadedError
+
+__all__ = ["PendingRequest", "RequestPipeline"]
+
+QueryKey = Tuple[int, int, int]
+
+
+class PendingRequest:
+    """All in-flight queries waiting on one ``(source, target, k)`` answer."""
+
+    __slots__ = ("key", "queries", "enqueued_at")
+
+    def __init__(self, key: QueryKey, query: KSPQuery, enqueued_at: float) -> None:
+        self.key = key
+        self.queries = [query]
+        self.enqueued_at = enqueued_at
+
+    @property
+    def fanout(self) -> int:
+        """Number of callers waiting on this answer."""
+        return len(self.queries)
+
+
+class RequestPipeline:
+    """Bounded FIFO of pending requests with coalescing.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *distinct* pending answers.  Coalesced duplicates
+        do not consume capacity — they wait on an existing slot.
+    max_batch_size:
+        Upper bound on the number of distinct keys handed out per
+        :meth:`next_batch` call.
+    """
+
+    def __init__(self, capacity: int = 256, max_batch_size: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self._capacity = capacity
+        self._max_batch_size = max_batch_size
+        self._pending: "OrderedDict[QueryKey, PendingRequest]" = OrderedDict()
+        self.submitted = 0
+        self.coalesced = 0
+        self.shed = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of distinct pending answers."""
+        return self._capacity
+
+    @property
+    def max_batch_size(self) -> int:
+        """Maximum distinct keys per micro-batch."""
+        return self._max_batch_size
+
+    @property
+    def depth(self) -> int:
+        """Current number of distinct pending answers."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no requests are pending."""
+        return not self._pending
+
+    def submit(self, query: KSPQuery, now: Optional[float] = None) -> bool:
+        """Admit ``query``; returns ``True`` when it coalesced onto a slot.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When the query needs a new slot and the queue is at capacity.
+            The shed counter is incremented before raising.
+        """
+        key = query.key
+        pending = self._pending.get(key)
+        if pending is not None:
+            pending.queries.append(query)
+            self.submitted += 1
+            self.coalesced += 1
+            return True
+        if len(self._pending) >= self._capacity:
+            self.shed += 1
+            raise ServiceOverloadedError(key, self._capacity)
+        enqueued_at = time.perf_counter() if now is None else now
+        self._pending[key] = PendingRequest(key, query, enqueued_at)
+        self.submitted += 1
+        return False
+
+    def next_batch(self) -> List[PendingRequest]:
+        """Pop up to ``max_batch_size`` pending requests in FIFO order."""
+        batch: List[PendingRequest] = []
+        while self._pending and len(batch) < self._max_batch_size:
+            _, pending = self._pending.popitem(last=False)
+            batch.append(pending)
+        return batch

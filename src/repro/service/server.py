@@ -1,0 +1,360 @@
+"""The long-lived KSP query server.
+
+:class:`KSPService` turns any batch :class:`~repro.workloads.runner.QueryEngine`
+(Yen, FindKSP, or the distributed KSP-DG engine) into an online service in
+which query traffic and road-network dynamics genuinely interleave:
+
+* queries are admitted through a bounded, coalescing
+  :class:`~repro.service.pipeline.RequestPipeline` and answered in
+  micro-batches;
+* answers are cached in a :class:`~repro.service.cache.ResultCache` whose
+  invalidation is wired to the graph's update stream, so a cached path is
+  never served after one of its edges changed weight;
+* a maintenance step applies :class:`~repro.dynamics.traffic.TrafficModel`
+  snapshots to the graph between batches — the DTLP index (when attached)
+  and the cache are refreshed through the same listener mechanism the
+  paper's Algorithm 2 uses;
+* every served query feeds :class:`~repro.service.telemetry.ServiceTelemetry`,
+  summarised on demand as a :class:`~repro.service.telemetry.ServiceReport`.
+
+Consistency model: updates are applied only *between* micro-batches, so all
+queries of a batch observe one graph snapshot (the paper's ``G_curr``), and
+cache entries surviving scoped invalidation are distance-exact (see
+:mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.dtlp import DTLP
+from ..dynamics.traffic import TrafficModel
+from ..graph.errors import EdgeNotFoundError
+from ..graph.graph import DynamicGraph, WeightUpdate
+from ..graph.paths import Path
+from ..workloads.queries import KSPQuery
+from ..workloads.runner import QueryEngine
+from .cache import CacheEntry, ResultCache
+from .errors import ServiceClosedError
+from .pipeline import PendingRequest, RequestPipeline
+from .telemetry import ServiceReport, ServiceTelemetry
+
+__all__ = ["ServedQuery", "KSPService"]
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One answered query as handed back to the caller."""
+
+    query: KSPQuery
+    paths: List[Path] = field(default_factory=list)
+    from_cache: bool = False
+    latency_seconds: float = 0.0
+    graph_version: int = 0
+
+
+class KSPService:
+    """Online KSP query server over a dynamic road network.
+
+    Parameters
+    ----------
+    graph:
+        The live dynamic graph.  The service registers a listener on it so
+        *any* applied weight update (its own maintenance loop or an external
+        writer) invalidates affected cache entries.
+    engine:
+        Any :class:`~repro.workloads.runner.QueryEngine`.  The engine must
+        answer against the live graph/index objects so that maintenance is
+        visible to subsequent queries.
+    dtlp:
+        Optional DTLP index to keep current; it is attached as a graph
+        listener (idempotently) so maintenance rounds refresh it.
+    traffic:
+        Optional traffic model driving :meth:`maintenance_step` when no
+        explicit update batch is passed.  Defaults to the paper's
+        ``alpha=35%%, tau=30%%`` model.
+    cache:
+        A pre-configured :class:`ResultCache`, or ``None`` to build one from
+        ``cache_capacity`` / ``invalidation_mode``.  Pass
+        ``enable_cache=False`` to serve uncached (every query computes).
+    queue_capacity / max_batch_size:
+        Admission-queue bound and micro-batch size (see
+        :class:`RequestPipeline`).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        engine: QueryEngine,
+        *,
+        dtlp: Optional[DTLP] = None,
+        traffic: Optional[TrafficModel] = None,
+        cache: Optional[ResultCache] = None,
+        enable_cache: bool = True,
+        cache_capacity: int = 4096,
+        invalidation_mode: str = "scoped",
+        full_eviction_threshold: int = 512,
+        queue_capacity: int = 256,
+        max_batch_size: int = 16,
+    ) -> None:
+        self._graph = graph
+        self._engine = engine
+        self._dtlp = dtlp
+        # Remember whether this service performed the attach so close()
+        # detaches exactly what __init__ registered and no more.  An index
+        # the caller wired up — via attach() or the direct
+        # graph.add_listener(dtlp.handle_updates) idiom — stays theirs.
+        self._owns_dtlp_attachment = dtlp is not None and not (
+            dtlp.attached or graph.has_listener(dtlp.handle_updates)
+        )
+        if dtlp is not None:
+            dtlp.attach()
+        self._traffic = traffic
+        # A privately built cache is fully covered by this service's own
+        # invalidation listener; only externally supplied caches (possibly
+        # shared or pre-populated) need read-time freshness re-checks.
+        self._cache_is_external = cache is not None and enable_cache
+        if enable_cache:
+            # `cache or ...` would be wrong here: ResultCache defines
+            # __len__, so a freshly built (empty) cache is falsy.
+            self._cache: Optional[ResultCache] = (
+                cache
+                if cache is not None
+                else ResultCache(
+                    capacity=cache_capacity,
+                    directed=graph.directed,
+                    mode=invalidation_mode,
+                    full_eviction_threshold=full_eviction_threshold,
+                )
+            )
+        else:
+            self._cache = None
+        self._pipeline = RequestPipeline(
+            capacity=queue_capacity, max_batch_size=max_batch_size
+        )
+        self._telemetry = ServiceTelemetry()
+        self._closed = False
+        if self._cache is not None:
+            graph.add_listener(self._on_graph_updates)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The live graph being served."""
+        return self._graph
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The query engine answering cache misses."""
+        return self._engine
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The result cache, or ``None`` when serving uncached."""
+        return self._cache
+
+    @property
+    def pipeline(self) -> RequestPipeline:
+        """The admission queue."""
+        return self._pipeline
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of distinct answers currently pending."""
+        return self._pipeline.depth
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def _on_graph_updates(self, updates: Sequence[WeightUpdate]) -> None:
+        if self._cache is not None:
+            self._cache.invalidate(updates)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, query: KSPQuery) -> bool:
+        """Admit one query; returns ``True`` when it coalesced.
+
+        Raises :class:`ServiceOverloadedError` when the admission queue is
+        full and :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        coalesced = self._pipeline.submit(query)
+        self._telemetry.record_queue_depth(self._pipeline.depth)
+        return coalesced
+
+    def process_batch(self) -> List[ServedQuery]:
+        """Answer one micro-batch of pending requests (may be empty).
+
+        Distinct keys are answered in FIFO admission order; coalesced
+        duplicates of a key are fanned the same answer.  All answers in the
+        batch are computed against the same graph version — maintenance
+        only runs between batches.
+        """
+        served: List[ServedQuery] = []
+        version = self._graph.version
+        for pending in self._pipeline.next_batch():
+            served.extend(self._answer(pending, version))
+        return served
+
+    def _is_fresh(self, entry: CacheEntry) -> bool:
+        """Re-check a hit against per-edge versions (belt and braces).
+
+        Scoped invalidation should have evicted any entry whose paths
+        touch an updated edge; this read-time check catches updates that
+        bypassed the listener (e.g. a cache populated by another service or
+        against another graph).  O(total path length) per hit, so the
+        server only runs it for externally supplied caches — a cache this
+        service built privately is fully covered by its own invalidation
+        listener and skips the walk.  Note a version fast-path would be
+        unsound here: two independent graphs can share a version number.
+        """
+        try:
+            return all(
+                self._graph.path_version(path.vertices) <= entry.version
+                for path in entry.paths
+            )
+        except EdgeNotFoundError:
+            # A cached path references an edge this graph doesn't have
+            # (cache populated against a different graph): stale.
+            return False
+
+    def _answer(self, pending: PendingRequest, version: int) -> List[ServedQuery]:
+        from_cache = False
+        paths: List[Path]
+        entry = self._cache.get(pending.key) if self._cache is not None else None
+        if entry is not None and self._cache_is_external and not self._is_fresh(entry):
+            self._cache.stats.reclassify_stale_hit()
+            entry = None
+        if entry is not None:
+            paths = entry.paths
+            from_cache = True
+        else:
+            outcome = self._engine.answer(pending.queries[0])
+            paths = outcome.paths
+            self._telemetry.unique_computations += 1
+            if self._cache is not None:
+                self._cache.put(pending.key, paths, version)
+        finished = time.perf_counter()
+        latency = max(0.0, finished - pending.enqueued_at)
+        results = []
+        for query in pending.queries:
+            self._telemetry.record_served(latency)
+            results.append(
+                ServedQuery(
+                    query=query,
+                    paths=list(paths),
+                    from_cache=from_cache,
+                    latency_seconds=latency,
+                    graph_version=version,
+                )
+            )
+        return results
+
+    def drain(self) -> List[ServedQuery]:
+        """Answer every pending request, batch by batch."""
+        served: List[ServedQuery] = []
+        while not self._pipeline.empty:
+            served.extend(self.process_batch())
+        return served
+
+    def answer_now(self, query: KSPQuery) -> ServedQuery:
+        """Synchronous convenience: submit one query and serve it immediately.
+
+        Bypasses batching but not the cache or telemetry.  Only valid while
+        no other requests are pending — serving just this query would force
+        discarding the other waiters' answers — so it raises ``ValueError``
+        on a non-empty queue; interleaved callers use
+        :meth:`submit`/:meth:`process_batch` instead.
+        """
+        if not self._pipeline.empty:
+            raise ValueError(
+                "answer_now() requires an empty admission queue; "
+                "use submit() and process_batch() when requests are pending"
+            )
+        self.submit(query)
+        served = self.drain()
+        return served[0]
+
+    # ------------------------------------------------------------------
+    # maintenance path
+    # ------------------------------------------------------------------
+    def maintenance_step(
+        self, updates: Optional[Sequence[WeightUpdate]] = None
+    ) -> List[WeightUpdate]:
+        """Apply one round of weight updates between batches.
+
+        ``updates`` defaults to one fresh snapshot from the configured
+        traffic model (built lazily with the paper's default parameters
+        when the service was constructed without one).  Applying through
+        the graph fans the batch out to every listener — the DTLP index
+        (Algorithm 2 maintenance) and the cache invalidation — and the
+        total wall-clock cost is recorded as maintenance time.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if updates is None:
+            if self._traffic is None:
+                self._traffic = TrafficModel(self._graph)
+            updates = self._traffic.generate_updates()
+        updates = list(updates)
+        started = time.perf_counter()
+        self._graph.apply_updates(updates)
+        elapsed = time.perf_counter() - started
+        self._telemetry.record_maintenance(len(updates), elapsed)
+        return updates
+
+    # ------------------------------------------------------------------
+    # reporting and lifecycle
+    # ------------------------------------------------------------------
+    def report(self) -> ServiceReport:
+        """Summarise everything served so far as a :class:`ServiceReport`."""
+        if self._cache is not None:
+            stats = self._cache.stats
+            hits, misses = stats.hits, stats.misses
+            hit_rate = stats.hit_rate
+            invalidations, flushes = stats.invalidations, stats.full_flushes
+            stale_rejections = stats.stale_rejections
+        else:
+            hits = misses = invalidations = flushes = stale_rejections = 0
+            hit_rate = 0.0
+        return self._telemetry.build_report(
+            engine_name=getattr(self._engine, "name", type(self._engine).__name__),
+            graph_version=self._graph.version,
+            cache_hits=hits,
+            cache_misses=misses,
+            hit_rate=hit_rate,
+            coalesced=self._pipeline.coalesced,
+            shed=self._pipeline.shed,
+            cache_invalidations=invalidations,
+            cache_full_flushes=flushes,
+            cache_stale_rejections=stale_rejections,
+        )
+
+    def close(self) -> None:
+        """Detach from the graph and refuse further traffic (idempotent).
+
+        Removes the cache-invalidation listener and, when the service was
+        the one that attached the DTLP index, detaches that too; an index
+        the caller had already attached is left registered.
+        """
+        if self._closed:
+            return
+        self._graph.remove_listener(self._on_graph_updates)
+        if self._dtlp is not None and self._owns_dtlp_attachment:
+            self._dtlp.detach()
+        self._closed = True
+
+    def __enter__(self) -> "KSPService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,194 @@
+"""Serving-layer telemetry: latency percentiles and steady-state counters.
+
+The paper's evaluation reports throughput/latency style metrics for the
+offline batches; the serving layer needs the online equivalents — latency
+percentiles over individual served queries, cache effectiveness, queue
+pressure and load shedding.  :class:`ServiceTelemetry` accumulates raw
+samples during serving and :class:`ServiceReport` is the immutable summary
+handed to callers (and printed by ``repro replay`` / ``repro serve``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["percentile", "ServiceTelemetry", "ServiceReport"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile (``q`` in [0, 100]).
+
+    Matches numpy's default ("linear") method; returns 0.0 on empty input
+    so reports over zero served queries stay printable.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Immutable summary of a service's activity since it started.
+
+    Latencies are measured per served query from admission to response, so
+    they include queue wait, and cache hits pull the percentiles down —
+    exactly the effect the result cache exists to produce.
+    """
+
+    engine_name: str
+    graph_version: int
+    queries_served: int
+    unique_computations: int
+    cache_hits: int
+    cache_misses: int
+    hit_rate: float
+    coalesced: int
+    shed: int
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    max_queue_depth: int
+    mean_queue_depth: float
+    maintenance_rounds: int
+    updates_applied: int
+    maintenance_seconds: float
+    cache_invalidations: int
+    cache_full_flushes: int
+    cache_stale_rejections: int
+
+    def as_dict(self) -> Dict[str, Union[int, float, str]]:
+        """Ordered mapping used by the CLI table and the benchmarks."""
+        return {
+            "engine": self.engine_name,
+            "graph version": self.graph_version,
+            "queries served": self.queries_served,
+            "unique computations": self.unique_computations,
+            "cache hits": self.cache_hits,
+            "cache misses": self.cache_misses,
+            "cache hit rate": round(self.hit_rate, 4),
+            "coalesced requests": self.coalesced,
+            "shed requests": self.shed,
+            "latency p50 (ms)": round(self.latency_p50_ms, 3),
+            "latency p90 (ms)": round(self.latency_p90_ms, 3),
+            "latency p99 (ms)": round(self.latency_p99_ms, 3),
+            "latency mean (ms)": round(self.latency_mean_ms, 3),
+            "latency max (ms)": round(self.latency_max_ms, 3),
+            "max queue depth": self.max_queue_depth,
+            "mean queue depth": round(self.mean_queue_depth, 2),
+            "maintenance rounds": self.maintenance_rounds,
+            "updates applied": self.updates_applied,
+            "maintenance time (s)": round(self.maintenance_seconds, 4),
+            "cache invalidations": self.cache_invalidations,
+            "cache full flushes": self.cache_full_flushes,
+            "cache stale rejections": self.cache_stale_rejections,
+        }
+
+
+@dataclass
+class ServiceTelemetry:
+    """Mutable accumulator behind :class:`ServiceReport`.
+
+    Memory-bounded for long-lived services: queue depth is tracked with
+    streaming max/mean counters, and latencies with a fixed-size reservoir
+    sample (seeded, so replays stay deterministic) from which percentiles
+    are computed; mean and max latency stay exact via running counters.
+    """
+
+    max_latency_samples: int = 100_000
+    queries_served: int = 0
+    unique_computations: int = 0
+    maintenance_rounds: int = 0
+    updates_applied: int = 0
+    maintenance_seconds: float = 0.0
+    latency_sum_seconds: float = 0.0
+    latency_max_seconds: float = 0.0
+    depth_sum: int = 0
+    depth_count: int = 0
+    depth_max: int = 0
+    latency_samples: List[float] = field(default_factory=list)
+    _rng: random.Random = field(default_factory=lambda: random.Random(0), repr=False)
+
+    def record_served(self, latency_seconds: float) -> None:
+        """Record one served query and its admission-to-response latency."""
+        self.queries_served += 1
+        self.latency_sum_seconds += latency_seconds
+        self.latency_max_seconds = max(self.latency_max_seconds, latency_seconds)
+        if len(self.latency_samples) < self.max_latency_samples:
+            self.latency_samples.append(latency_seconds)
+        else:
+            slot = self._rng.randrange(self.queries_served)
+            if slot < self.max_latency_samples:
+                self.latency_samples[slot] = latency_seconds
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the admission-queue depth (taken at every submit)."""
+        self.depth_sum += depth
+        self.depth_count += 1
+        self.depth_max = max(self.depth_max, depth)
+
+    def record_maintenance(self, num_updates: int, elapsed_seconds: float) -> None:
+        """Record one maintenance round (one applied update batch)."""
+        self.maintenance_rounds += 1
+        self.updates_applied += num_updates
+        self.maintenance_seconds += elapsed_seconds
+
+    def build_report(
+        self,
+        engine_name: str,
+        graph_version: int,
+        cache_hits: int,
+        cache_misses: int,
+        hit_rate: float,
+        coalesced: int,
+        shed: int,
+        cache_invalidations: int,
+        cache_full_flushes: int,
+        cache_stale_rejections: int = 0,
+    ) -> ServiceReport:
+        """Freeze the current counters into a :class:`ServiceReport`."""
+        # Pre-sorted so the three percentile() calls below don't each
+        # re-sort the (up to max_latency_samples-long) reservoir.
+        latencies_ms = sorted(latency * 1e3 for latency in self.latency_samples)
+        return ServiceReport(
+            engine_name=engine_name,
+            graph_version=graph_version,
+            queries_served=self.queries_served,
+            unique_computations=self.unique_computations,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            hit_rate=hit_rate,
+            coalesced=coalesced,
+            shed=shed,
+            latency_p50_ms=percentile(latencies_ms, 50.0),
+            latency_p90_ms=percentile(latencies_ms, 90.0),
+            latency_p99_ms=percentile(latencies_ms, 99.0),
+            latency_mean_ms=(
+                self.latency_sum_seconds / self.queries_served * 1e3
+                if self.queries_served
+                else 0.0
+            ),
+            latency_max_ms=self.latency_max_seconds * 1e3,
+            max_queue_depth=self.depth_max,
+            mean_queue_depth=(
+                self.depth_sum / self.depth_count if self.depth_count else 0.0
+            ),
+            maintenance_rounds=self.maintenance_rounds,
+            updates_applied=self.updates_applied,
+            maintenance_seconds=self.maintenance_seconds,
+            cache_invalidations=cache_invalidations,
+            cache_full_flushes=cache_full_flushes,
+            cache_stale_rejections=cache_stale_rejections,
+        )

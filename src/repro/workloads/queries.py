@@ -45,6 +45,16 @@ class KSPQuery:
         """Return ``(source, target, k)``, the shape engines consume."""
         return (self.source, self.target, self.k)
 
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Identity of the *answer* this query asks for.
+
+        Two queries with the same key are satisfied by the same result; the
+        serving layer uses this for result caching and for coalescing
+        identical in-flight requests.
+        """
+        return self.as_tuple()
+
 
 class QueryGenerator:
     """Reproducible random query generator over a graph.

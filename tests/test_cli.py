@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,6 +74,47 @@ class TestCommands:
         assert code == 0
         captured = capsys.readouterr().out
         assert "parallel time (s)" in captured
+
+    def test_replay_command_validates_and_reports(self, capsys):
+        code = main(
+            [
+                "replay",
+                "--dataset", "NY",
+                "--scale", "0.25",
+                "--engine", "yen",
+                "--num-queries", "60",
+                "--update-rounds", "6",
+                "--validate",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "stale served results: 0" in captured
+        assert "cache hit rate" in captured
+        assert "latency p99 (ms)" in captured
+
+    def test_serve_command_sheds_instead_of_crashing(self, capsys):
+        # An epoch wave larger than the admission queue: the overflow must
+        # be shed (not crash with ServiceOverloadedError) and the shed
+        # count must show up in the per-epoch line.
+        code = main(
+            [
+                "serve",
+                "--dataset", "NY",
+                "--scale", "0.25",
+                "--engine", "yen",
+                "--epochs", "2",
+                "--queries-per-epoch", "30",
+                "--queue-capacity", "4",
+                "--batch-size", "8",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        match = re.search(r"epoch   1: .* \(\d+ from cache, (\d+) shed\)", captured)
+        assert match is not None
+        assert int(match.group(1)) > 0
+        assert "shed requests" in captured
 
     def test_missing_graph_source_fails(self):
         with pytest.raises(SystemExit):

@@ -15,7 +15,7 @@ from repro.algorithms import shortest_distance, yen_k_shortest_paths
 from repro.core import DTLP, DTLPConfig, KSPDG, SubgraphIndex
 from repro.graph import DynamicGraph, Subgraph, WeightUpdate
 
-from .conftest import apply_sg4_change
+from conftest import apply_sg4_change
 
 
 def full_subgraph(graph, boundary, subgraph_id=0):

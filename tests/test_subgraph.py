@@ -7,7 +7,7 @@ import pytest
 from repro.graph import DynamicGraph, EdgeNotFoundError, Subgraph, VertexNotFoundError
 from repro.graph.subgraph import SortedUnitWeights
 
-from .conftest import apply_sg4_change
+from conftest import apply_sg4_change
 
 
 def make_sg4_subgraph(graph: DynamicGraph) -> Subgraph:

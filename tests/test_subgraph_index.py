@@ -9,7 +9,7 @@ from repro.core import SubgraphIndex
 from repro.graph import DynamicGraph, IndexStateError, Subgraph, WeightUpdate, road_network
 from repro.dynamics import TrafficModel
 
-from .conftest import apply_sg4_change
+from conftest import apply_sg4_change
 
 
 def full_subgraph(graph, subgraph_id=0, boundary=None):
