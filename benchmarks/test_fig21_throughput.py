@@ -8,7 +8,6 @@ scaled version streams fewer rounds but reports the same two series.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

@@ -6,8 +6,12 @@ queries over dynamic road networks:
 * :mod:`repro.graph` — dynamic weighted graphs, BFS partitioning into
   subgraphs with boundary vertices, synthetic road-network generators and
   DIMACS IO.
+* :mod:`repro.kernel` — array-backed graph snapshots (CSR) and the
+  index-space shortest-path primitives every hot path runs on (see
+  ``ARCHITECTURE.md``).
 * :mod:`repro.algorithms` — Dijkstra primitives, Yen's algorithm, the
-  FindKSP baseline and the CANDS single-shortest-path baseline.
+  FindKSP baseline and the CANDS single-shortest-path baseline; all accept
+  either a graph-like object or a kernel snapshot.
 * :mod:`repro.core` — the DTLP two-level index (bounding paths, EP-Index,
   lower bounds, skeleton graph, MinHash/LSH + MFP-tree compression) and the
   KSP-DG filter-and-refine query algorithm.

@@ -27,8 +27,8 @@ import heapq
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..graph.errors import IndexStateError, PathNotFoundError
-from ..graph.graph import DynamicGraph, WeightUpdate, edge_key
+from ..graph.errors import IndexStateError
+from ..graph.graph import WeightUpdate
 from ..graph.partition import GraphPartition
 from ..graph.paths import Path, merge_paths
 from .dijkstra import dijkstra, shortest_path

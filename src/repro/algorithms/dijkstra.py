@@ -6,6 +6,14 @@ of ``(neighbour, weight)`` pairs — both :class:`~repro.graph.graph.DynamicGrap
 :class:`~repro.graph.subgraph.Subgraph` (whose ``neighbors`` yields pairs)
 are supported through the small adapter :func:`iter_neighbors`.
 
+They *also* accept a :class:`~repro.kernel.snapshot.CSRSnapshot`: the entry
+points detect the snapshot and dispatch to the array-native kernel in
+:mod:`repro.kernel.primitives`, translating ids/bans into index space on
+the way in and the labelled results back into id-space dictionaries on the
+way out.  Both paths produce bit-identical results (see
+``tests/test_kernel_properties.py``); the snapshot path is simply faster.
+``ARCHITECTURE.md`` documents when to use which.
+
 Provided algorithms:
 
 * :func:`dijkstra` — classical Dijkstra from a single source, with optional
@@ -31,16 +39,18 @@ from typing import (
     List,
     Mapping,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )
 
-from ..graph.errors import PathNotFoundError, VertexNotFoundError
+from ..graph.errors import EdgeNotFoundError, PathNotFoundError, VertexNotFoundError
 from ..graph.paths import Path
+from ..kernel.primitives import dijkstra_arrays, reconstruct_indices
+from ..kernel.snapshot import CSRSnapshot
 
 __all__ = [
     "iter_neighbors",
+    "path_weight",
     "dijkstra",
     "shortest_path",
     "shortest_distance",
@@ -64,6 +74,88 @@ def iter_neighbors(graph, vertex: int) -> Iterator[Tuple[int, float]]:
     return iter(result)
 
 
+def path_weight(graph, vertices) -> float:
+    """Distance of the path ``vertices`` on any graph-like object.
+
+    Uses the graph's O(1) ``weight(u, v)`` accessor when available (every
+    graph class in this repository, including snapshots, has one); the
+    O(degree) linear neighbour scan survives only as a fallback for minimal
+    graph-likes that expose nothing but ``neighbors``.  Shared by Yen's
+    root pricing and FindKSP's candidate pricing.
+    """
+    weight_of = getattr(graph, "weight", None)
+    total = 0.0
+    for index in range(len(vertices) - 1):
+        u, v = vertices[index], vertices[index + 1]
+        if weight_of is not None:
+            try:
+                total += weight_of(u, v)
+            except (EdgeNotFoundError, KeyError):
+                raise PathNotFoundError(u, v) from None
+            continue
+        for neighbor, weight in iter_neighbors(graph, u):
+            if neighbor == v:
+                total += weight
+                break
+        else:
+            raise PathNotFoundError(u, v)
+    return total
+
+
+def _dijkstra_snapshot(
+    snapshot: CSRSnapshot,
+    source: int,
+    target: Optional[int],
+    allowed_vertices: Optional[Set[int]],
+    banned_vertices: Optional[Set[int]],
+    banned_edges: Optional[Set[Tuple[int, int]]],
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Snapshot fast path of :func:`dijkstra`: translate, run kernel, translate back."""
+    if banned_vertices and source in banned_vertices:
+        return {}, {}
+    index_of = snapshot.index_of
+    try:
+        source_index = index_of[source]
+    except KeyError:
+        raise VertexNotFoundError(source) from None
+    target_index = -1
+    if target is not None:
+        target_index = index_of.get(target, -1)
+    allowed_idx: Optional[Set[int]] = None
+    if allowed_vertices is not None:
+        allowed_idx = {index_of[v] for v in allowed_vertices if v in index_of}
+    banned_idx: Optional[Set[int]] = None
+    if banned_vertices:
+        banned_idx = {index_of[v] for v in banned_vertices if v in index_of}
+    banned_pairs: Optional[Set[Tuple[int, int]]] = None
+    if banned_edges:
+        banned_pairs = {
+            (index_of[u], index_of[v])
+            for u, v in banned_edges
+            if u in index_of and v in index_of
+        }
+    dist, pred, touched = dijkstra_arrays(
+        snapshot.rows,
+        len(snapshot.ids),
+        source_index,
+        target=target_index,
+        allowed=allowed_idx,
+        banned_vertices=banned_idx or None,
+        banned_pairs=banned_pairs or None,
+    )
+    # Labelled indices back to id space; every labelled vertex except the
+    # source has a predecessor, so both conversions run at C speed.
+    ids = snapshot.ids
+    get_id = ids.__getitem__
+    assert touched is not None
+    distances = dict(zip(map(get_id, touched), map(dist.__getitem__, touched)))
+    rest = touched[1:]
+    predecessors = dict(
+        zip(map(get_id, rest), map(get_id, map(pred.__getitem__, rest)))
+    )
+    return distances, predecessors
+
+
 def dijkstra(
     graph,
     source: int,
@@ -77,7 +169,9 @@ def dijkstra(
     Parameters
     ----------
     graph:
-        Any graph-like object with ``neighbors`` (see :func:`iter_neighbors`).
+        Any graph-like object with ``neighbors`` (see :func:`iter_neighbors`),
+        or a :class:`~repro.kernel.snapshot.CSRSnapshot` — snapshots are
+        dispatched to the array kernel and return identical results faster.
     source:
         Start vertex.
     target:
@@ -98,6 +192,10 @@ def dijkstra(
         ``source``; ``predecessors`` maps each settled vertex (except the
         source) to the previous vertex on a shortest path.
     """
+    if isinstance(graph, CSRSnapshot):
+        return _dijkstra_snapshot(
+            graph, source, target, allowed_vertices, banned_vertices, banned_edges
+        )
     distances: Dict[int, float] = {source: 0.0}
     predecessors: Dict[int, int] = {}
     visited: Set[int] = set()
@@ -150,6 +248,8 @@ def shortest_path(
     Raises :class:`~repro.graph.errors.PathNotFoundError` when the target is
     unreachable.
     """
+    if isinstance(graph, CSRSnapshot):
+        return _shortest_path_snapshot(graph, source, target, allowed_vertices)
     distances, predecessors = dijkstra(
         graph, source, target=target, allowed_vertices=allowed_vertices
     )
@@ -158,6 +258,47 @@ def shortest_path(
     if source == target:
         return Path(0.0, (source,))
     return Path(distances[target], _reconstruct(predecessors, source, target))
+
+
+def _shortest_path_snapshot(
+    snapshot: CSRSnapshot,
+    source: int,
+    target: int,
+    allowed_vertices: Optional[Set[int]],
+) -> Path:
+    """Snapshot fast path of :func:`shortest_path`.
+
+    Runs the kernel without labelled-set tracking and converts only the
+    vertices on the result path back to id space — the dominant cost of the
+    dict wrapper (materialising the full distance/predecessor dictionaries)
+    disappears for plain path queries.
+    """
+    if source == target:
+        return Path(0.0, (source,))
+    index_of = snapshot.index_of
+    try:
+        source_index = index_of[source]
+    except KeyError:
+        raise VertexNotFoundError(source) from None
+    target_index = index_of.get(target)
+    if target_index is None:
+        raise PathNotFoundError(source, target)
+    allowed_idx: Optional[Set[int]] = None
+    if allowed_vertices is not None:
+        allowed_idx = {index_of[v] for v in allowed_vertices if v in index_of}
+    dist, pred, _ = dijkstra_arrays(
+        snapshot.rows,
+        len(snapshot.ids),
+        source_index,
+        target=target_index,
+        allowed=allowed_idx,
+        track_touched=False,
+    )
+    if pred[target_index] < 0:
+        raise PathNotFoundError(source, target)
+    sequence = reconstruct_indices(pred, source_index, target_index)
+    get_id = snapshot.ids.__getitem__
+    return Path(dist[target_index], tuple(map(get_id, sequence)))
 
 
 def shortest_distance(graph, source: int, target: int) -> float:

@@ -29,7 +29,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..graph.errors import PathNotFoundError, QueryError
 from ..graph.paths import Path
-from .dijkstra import dijkstra, iter_neighbors
+from .dijkstra import dijkstra, iter_neighbors, path_weight
 
 __all__ = ["find_ksp", "FindKSP"]
 
@@ -96,16 +96,7 @@ class FindKSP:
         return prefix + tuple(completion)
 
     def _path_distance(self, vertices: Tuple[int, ...]) -> float:
-        total = 0.0
-        for index in range(len(vertices) - 1):
-            u, v = vertices[index], vertices[index + 1]
-            for neighbor, weight in iter_neighbors(self._graph, u):
-                if neighbor == v:
-                    total += weight
-                    break
-            else:
-                raise PathNotFoundError(u, v)
-        return total
+        return path_weight(self._graph, vertices)
 
     # ------------------------------------------------------------------
     # enumeration

@@ -15,35 +15,25 @@ Two interfaces are provided:
 * :class:`LazyYen` — an iterator that produces successive shortest paths on
   demand; KSP-DG uses it to enumerate reference paths one per iteration
   without fixing ``k`` in advance.
+
+Both interfaces accept either a plain graph-like object or a
+:class:`~repro.kernel.snapshot.CSRSnapshot`; with a snapshot, every spur
+search runs on the array kernel (see ``ARCHITECTURE.md``) while the
+deviation bookkeeping — and therefore the exact output — stays identical.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
-from ..graph.errors import PathNotFoundError, QueryError
+from ..graph.errors import QueryError
 from ..graph.paths import Path
-from .dijkstra import dijkstra, iter_neighbors, shortest_path
+from ..kernel.primitives import dijkstra_arrays, reconstruct_indices
+from ..kernel.snapshot import CSRSnapshot
+from .dijkstra import dijkstra, path_weight, shortest_path
 
 __all__ = ["yen_k_shortest_paths", "LazyYen"]
-
-
-def _path_weight(graph, vertices: Tuple[int, ...]) -> float:
-    """Distance of ``vertices`` on ``graph`` (graph-like object)."""
-    total = 0.0
-    for index in range(len(vertices) - 1):
-        u, v = vertices[index], vertices[index + 1]
-        found = False
-        for neighbor, weight in iter_neighbors(graph, u):
-            if neighbor == v:
-                total += weight
-                found = True
-                break
-        if not found:
-            raise PathNotFoundError(u, v)
-    return total
 
 
 class LazyYen:
@@ -56,7 +46,8 @@ class LazyYen:
     Parameters
     ----------
     graph:
-        Graph-like object (``DynamicGraph``, ``Subgraph`` or ``SkeletonGraph``).
+        Graph-like object (``DynamicGraph``, ``Subgraph``, ``SkeletonGraph``)
+        or a ``CSRSnapshot`` (spur searches then use the array kernel).
     source, target:
         Query endpoints.
     allowed_vertices:
@@ -74,6 +65,16 @@ class LazyYen:
         self._source = source
         self._target = target
         self._allowed = allowed_vertices
+        # Snapshot fast path: spur searches run on the array kernel without
+        # converting labelled sets back to dictionaries.  The deviation
+        # bookkeeping (and therefore the produced paths) is identical.
+        self._snapshot = graph if isinstance(graph, CSRSnapshot) else None
+        self._allowed_idx: Optional[Set[int]] = None
+        if self._snapshot is not None and allowed_vertices is not None:
+            index_of = self._snapshot.index_of
+            self._allowed_idx = {
+                index_of[v] for v in allowed_vertices if v in index_of
+            }
         self._found: List[Path] = []
         self._candidates: List[Tuple[float, Tuple[int, ...]]] = []
         self._candidate_set: Set[Tuple[int, ...]] = set()
@@ -145,6 +146,36 @@ class LazyYen:
                     banned_edges.add((u, v))
                     banned_edges.add((v, u))
             banned_vertices = set(root[:-1])
+            spur = self._spur_search(spur_vertex, banned_vertices, banned_edges)
+            if spur is None:
+                continue
+            spur_distance, spur_vertices = spur
+            total_vertices = root[:-1] + tuple(spur_vertices)
+            if len(set(total_vertices)) != len(total_vertices):
+                continue
+            if total_vertices in self._candidate_set:
+                continue
+            root_distance = path_weight(self._graph, root)
+            total_distance = root_distance + spur_distance
+            self._candidate_set.add(total_vertices)
+            self._deviation_index.setdefault(total_vertices, spur_index)
+            heapq.heappush(self._candidates, (total_distance, total_vertices))
+
+    def _spur_search(
+        self,
+        spur_vertex: int,
+        banned_vertices: Set[int],
+        banned_edges: Set[Tuple[int, int]],
+    ) -> Optional[Tuple[float, List[int]]]:
+        """Best spur path from ``spur_vertex`` to the target, or ``None``.
+
+        Returns ``(spur_distance, spur_vertex_sequence)``.  On a snapshot
+        the search stays in index space end to end; otherwise the generic
+        :func:`~repro.algorithms.dijkstra.dijkstra` runs and the result
+        dictionaries are walked as before.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
             distances, predecessors = dijkstra(
                 self._graph,
                 spur_vertex,
@@ -154,21 +185,37 @@ class LazyYen:
                 banned_edges=banned_edges,
             )
             if self._target not in distances:
-                continue
+                return None
             spur_vertices = [self._target]
             while spur_vertices[-1] != spur_vertex:
                 spur_vertices.append(predecessors[spur_vertices[-1]])
             spur_vertices.reverse()
-            total_vertices = root[:-1] + tuple(spur_vertices)
-            if len(set(total_vertices)) != len(total_vertices):
-                continue
-            if total_vertices in self._candidate_set:
-                continue
-            root_distance = _path_weight(self._graph, root)
-            total_distance = root_distance + distances[self._target]
-            self._candidate_set.add(total_vertices)
-            self._deviation_index.setdefault(total_vertices, spur_index)
-            heapq.heappush(self._candidates, (total_distance, total_vertices))
+            return distances[self._target], spur_vertices
+        index_of = snapshot.index_of
+        target_index = index_of.get(self._target)
+        if target_index is None:
+            return None
+        spur_index_pos = index_of[spur_vertex]
+        banned_idx = {index_of[v] for v in banned_vertices if v in index_of}
+        banned_pairs = {
+            (index_of[u], index_of[v])
+            for u, v in banned_edges
+            if u in index_of and v in index_of
+        }
+        dist, pred, _ = dijkstra_arrays(
+            snapshot.rows,
+            len(snapshot.ids),
+            spur_index_pos,
+            target=target_index,
+            allowed=self._allowed_idx,
+            banned_vertices=banned_idx or None,
+            banned_pairs=banned_pairs or None,
+        )
+        if target_index != spur_index_pos and pred[target_index] < 0:
+            return None
+        sequence = reconstruct_indices(pred, spur_index_pos, target_index)
+        get_id = snapshot.ids.__getitem__
+        return dist[target_index], list(map(get_id, sequence))
 
 
 def yen_k_shortest_paths(

@@ -17,8 +17,8 @@ rows mirror the paper's series.  This module centralises the shared pieces:
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
 
 from ..core.dtlp import DTLP, DTLPConfig
 from ..dynamics.traffic import TrafficModel

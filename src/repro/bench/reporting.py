@@ -15,7 +15,7 @@ leaves a readable report on disk regardless of capture settings.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Mapping, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 __all__ = ["format_table", "print_experiment"]
 

@@ -18,14 +18,17 @@ online serving layer (:mod:`repro.service`) and prints the service report;
 ``serve`` runs the serving loop epoch by epoch (one traffic snapshot plus
 one query wave per epoch), printing rolling per-epoch lines and the final
 report.  Every command accepts either ``--dataset`` (one of NY, COL, FLA,
-CUSA, a scaled synthetic analogue) or ``--gr`` (path to a DIMACS file).
+CUSA, a scaled synthetic analogue) or ``--gr`` (path to a DIMACS file);
+``replay`` and ``serve`` additionally accept ``--kernel {snapshot,dict}``
+to pick the compute path (see ``ARCHITECTURE.md``), which the printed
+service report echoes back.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .algorithms import yen_k_shortest_paths
 from .bench.reporting import format_table
@@ -93,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--k", type=int, default=2)
         sub.add_argument("--engine", choices=["kspdg", "yen", "findksp"], default="kspdg",
                          help="query engine serving cache misses (default kspdg)")
+        sub.add_argument("--kernel", choices=["snapshot", "dict"], default="snapshot",
+                         help="compute kernel: array-backed snapshots (default) or the "
+                              "dict-based reference path; surfaced in the service report")
         sub.add_argument("--workers", type=int, default=4,
                          help="simulated workers for the kspdg engine")
         sub.add_argument("--no-cache", action="store_true",
@@ -209,12 +215,12 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
     dtlp: Optional[DTLP] = None
     engine: QueryEngine
     if args.engine == "yen":
-        engine = YenEngine(graph)
+        engine = YenEngine(graph, kernel=args.kernel)
     elif args.engine == "findksp":
-        engine = FindKSPEngine(graph)
+        engine = FindKSPEngine(graph, kernel=args.kernel)
     else:
         dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
-        engine = KSPDGEngine.local(dtlp, num_workers=args.workers)
+        engine = KSPDGEngine.local(dtlp, num_workers=args.workers, kernel=args.kernel)
     traffic = TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed)
     return KSPService(
         graph,

@@ -3,7 +3,7 @@
 from .bounding_paths import BoundingPath, compute_bounding_paths
 from .dtlp import DTLP, DTLPConfig, DTLPStatistics
 from .ep_index import EPIndex
-from .ksp_dg import KSPDG, KSPDGQuery, KSPResult
+from .ksp_dg import KSPDG, KSPDGQuery, KSPResult, validate_kernel
 from .lsh import MinHasher, jaccard_similarity, lsh_group_edges
 from .mfp_tree import MFPForest, MFPNode, MFPTree, build_mfp_forest
 from .skeleton import SkeletonGraph
@@ -20,6 +20,7 @@ __all__ = [
     "KSPDG",
     "KSPDGQuery",
     "KSPResult",
+    "validate_kernel",
     "MinHasher",
     "jaccard_similarity",
     "lsh_group_edges",

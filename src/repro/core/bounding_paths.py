@@ -20,8 +20,8 @@ one pair of boundary vertices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..algorithms.dijkstra import k_lightest_paths_by_vfrags
 from ..graph.subgraph import Subgraph

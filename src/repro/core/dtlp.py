@@ -15,17 +15,23 @@ The facade also implements the maintenance path of Algorithm 2: it can be
 registered as a listener on the dynamic graph (``graph.add_listener(dtlp.handle_updates)``)
 so that every batch of weight updates refreshes the affected bounding-path
 distances and the skeleton-graph edge weights.
+
+The index additionally hosts the shared per-subgraph kernel-snapshot cache
+(:meth:`DTLP.subgraph_snapshot`) consumed by KSP-DG and the distributed
+bolts; see ``ARCHITECTURE.md`` for the layer stack and the snapshot/dict
+kernel trade-off.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..graph.errors import IndexStateError
-from ..graph.graph import DynamicGraph, WeightUpdate, edge_key
+from ..graph.graph import DynamicGraph, WeightUpdate
 from ..graph.partition import GraphPartition, partition_graph
+from ..kernel.snapshot import CSRSnapshot
 from .lsh import lsh_group_edges
 from .mfp_tree import MFPForest, build_mfp_forest
 from .skeleton import SkeletonGraph
@@ -144,6 +150,10 @@ class DTLP:
             )
         self._partition = partition
         self._subgraph_indexes: Dict[int, SubgraphIndex] = {}
+        # Lazily built per-subgraph kernel snapshots, shared by every
+        # consumer (KSP-DG refine, distributed bolts) and refreshed
+        # incrementally instead of re-adapting the mutable graph per call.
+        self._subgraph_snapshots: Dict[int, CSRSnapshot] = {}
         self._skeleton = SkeletonGraph(directed=self._config.directed)
         self._mfp_forests: Dict[int, MFPForest] = {}
         self._built = False
@@ -206,6 +216,27 @@ class DTLP:
         """All per-subgraph indexes keyed by subgraph id."""
         return dict(self._subgraph_indexes)
 
+    def subgraph_snapshot(self, subgraph_id: int) -> CSRSnapshot:
+        """A current kernel snapshot of one subgraph (built lazily, cached).
+
+        The snapshot is shared across queries and iterations: the first
+        access pays the CSR build, subsequent accesses only compare the
+        parent graph's version counter and, when weights changed, refresh
+        the affected arcs in O(changed edges).  This is the array-backed
+        fast path of the refine step; the :class:`~repro.graph.subgraph.Subgraph`
+        object itself remains the dict-based reference (see
+        ``ARCHITECTURE.md``).
+        """
+        if self._partition is None:
+            raise IndexStateError("DTLP.build() must run before snapshots are read")
+        snapshot = self._subgraph_snapshots.get(subgraph_id)
+        if snapshot is None:
+            snapshot = CSRSnapshot(self._partition.subgraph(subgraph_id))
+            self._subgraph_snapshots[subgraph_id] = snapshot
+        else:
+            snapshot.refresh()
+        return snapshot
+
     def mfp_forest(self, subgraph_id: int) -> Optional[MFPForest]:
         """The MFP-forest of one subgraph (``None`` when compression is off)."""
         return self._mfp_forests.get(subgraph_id)
@@ -219,6 +250,7 @@ class DTLP:
         if self._partition is None:
             self._partition = partition_graph(self._graph, self._config.z)
         self._subgraph_indexes.clear()
+        self._subgraph_snapshots.clear()
         for subgraph in self._partition.subgraphs:
             index = SubgraphIndex(
                 subgraph,

@@ -21,23 +21,42 @@ many pairs, which the paper highlights as an important optimisation.
 Hooks (``on_reference_path``, ``on_partial``, ``on_merge``) let the simulated
 distributed runtime attribute the work of each phase to cluster workers
 without duplicating the algorithm.
+
+Both the filter and refine steps run on a selectable compute kernel
+(``kernel="snapshot"`` for the array-backed fast path, ``"dict"`` for the
+reference implementation — see ``ARCHITECTURE.md``): the skeleton is
+flattened once per query and subgraphs reuse the DTLP's shared snapshot
+cache across iterations and queries.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..algorithms.dijkstra import dijkstra
 from ..algorithms.yen import LazyYen, yen_k_shortest_paths
 from ..graph.errors import PathNotFoundError, QueryError
 from ..graph.paths import Path, merge_paths
 from ..graph.partition import GraphPartition
+from ..kernel.snapshot import CSRSnapshot
 from .dtlp import DTLP
 from .skeleton import SkeletonGraph
 
-__all__ = ["KSPResult", "KSPDGQuery", "KSPDG"]
+__all__ = ["KSPResult", "KSPDGQuery", "KSPDG", "validate_kernel"]
+
+#: Kernel modes accepted across the query/serving stack: ``"snapshot"``
+#: (array-backed fast path, the default) and ``"dict"`` (the dict-of-dict
+#: reference implementation).  See ``ARCHITECTURE.md``.
+KERNELS = ("snapshot", "dict")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Validate a kernel mode string, returning it unchanged."""
+    if kernel not in KERNELS:
+        raise QueryError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
 
 
 @dataclass
@@ -100,6 +119,7 @@ class KSPDGQuery:
         on_reference_path: Optional[ReferenceHook] = None,
         on_partial: Optional[PartialHook] = None,
         on_merge: Optional[MergeHook] = None,
+        kernel: str = "snapshot",
     ) -> None:
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -109,13 +129,28 @@ class KSPDGQuery:
         self._source = source
         self._target = target
         self._k = k
+        self._kernel = validate_kernel(kernel)
         self._on_reference_path = on_reference_path
         self._on_partial = on_partial
         self._on_merge = on_merge
         self._partial_cache: Dict[Tuple[int, int], List[Path]] = {}
         self._partial_computations = 0
         self._skeleton = self._augmented_skeleton()
-        self._reference_enumerator = LazyYen(self._skeleton, source, target)
+        # One skeleton view per query, reused across every filter iteration:
+        # with the snapshot kernel the (possibly augmented) skeleton is
+        # flattened once and all reference-path spur searches run on arrays.
+        search_skeleton = (
+            CSRSnapshot(self._skeleton)
+            if self._kernel == "snapshot"
+            else self._skeleton
+        )
+        self._reference_enumerator = LazyYen(search_skeleton, source, target)
+
+    def _subgraph_view(self, subgraph_id: int):
+        """The compute view of one subgraph under the selected kernel."""
+        if self._kernel == "snapshot":
+            return self._dtlp.subgraph_snapshot(subgraph_id)
+        return self._partition.subgraph(subgraph_id)
 
     # ------------------------------------------------------------------
     # skeleton augmentation (Section 5.3)
@@ -140,15 +175,11 @@ class KSPDGQuery:
             if shared and self._source != self._target:
                 best: Optional[float] = None
                 for subgraph_id in shared:
-                    index = self._dtlp.subgraph_index(subgraph_id)
-                    bounds = index.lower_bounds_from_vertex(self._source)
                     # lower_bounds_from_vertex returns distances to boundary
                     # vertices only; compute the direct within-subgraph
                     # distance explicitly.
-                    from ..algorithms.dijkstra import dijkstra
-
                     distances, _ = dijkstra(
-                        self._partition.subgraph(subgraph_id), self._source,
+                        self._subgraph_view(subgraph_id), self._source,
                         target=self._target,
                     )
                     if self._target in distances:
@@ -214,7 +245,7 @@ class KSPDGQuery:
         subgraph_ids = self._partition.subgraphs_containing_pair(source, target)
         collected: List[Path] = []
         for subgraph_id in subgraph_ids:
-            subgraph = self._partition.subgraph(subgraph_id)
+            subgraph = self._subgraph_view(subgraph_id)
             started = time.perf_counter()
             try:
                 paths = yen_k_shortest_paths(subgraph, source, target, self._k)
@@ -309,15 +340,21 @@ class KSPDG:
     3
     """
 
-    def __init__(self, dtlp: DTLP) -> None:
+    def __init__(self, dtlp: DTLP, kernel: str = "snapshot") -> None:
         if not dtlp.built:
             raise QueryError("the DTLP index must be built before creating KSPDG")
         self._dtlp = dtlp
+        self._kernel = validate_kernel(kernel)
 
     @property
     def dtlp(self) -> DTLP:
         """The underlying DTLP index."""
         return self._dtlp
+
+    @property
+    def kernel(self) -> str:
+        """Compute kernel answering queries (``"snapshot"`` or ``"dict"``)."""
+        return self._kernel
 
     def query(
         self,
@@ -345,6 +382,7 @@ class KSPDG:
             on_reference_path=on_reference_path,
             on_partial=on_partial,
             on_merge=on_merge,
+            kernel=self._kernel,
         )
         return query.run()
 

@@ -18,7 +18,7 @@ lengths are small and the number of edges per subgraph is bounded by ``z``.
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
 
 __all__ = ["MinHasher", "lsh_group_edges", "jaccard_similarity"]
 

@@ -16,7 +16,7 @@ copy without mutating the shared instance.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Tuple
 
 from ..graph.errors import VertexNotFoundError
 from ..graph.graph import edge_key

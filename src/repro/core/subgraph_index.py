@@ -18,13 +18,13 @@ The class also exposes the statistics the evaluation section reports
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms.dijkstra import lightest_vfrag_paths_from_source
 from ..graph.errors import IndexStateError
 from ..graph.graph import WeightUpdate, edge_key
 from ..graph.subgraph import SortedUnitWeights, Subgraph
-from .bounding_paths import BoundingPath, compute_bounding_paths
+from .bounding_paths import BoundingPath
 from .ep_index import EPIndex
 
 __all__ = ["SubgraphIndex"]

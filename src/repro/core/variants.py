@@ -25,7 +25,7 @@ updates:
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..graph.errors import QueryError
 from ..graph.paths import Path, merge_paths

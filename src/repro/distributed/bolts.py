@@ -18,6 +18,12 @@ Every piece of computation is timed with ``time.perf_counter`` and charged to
 the hosting worker through the :class:`~repro.distributed.cluster.SimulatedCluster`,
 and every inter-component message is charged as communication, so aggregate
 metrics reproduce the cost analysis of Section 5.6.
+
+Bolts compute on the kernel selected at topology construction (see
+``ARCHITECTURE.md``): with ``kernel="snapshot"`` each SubgraphBolt reads its
+subgraphs through the DTLP's shared snapshot cache (persisted across
+micro-batches, refreshed incrementally after ``apply_updates``) and each
+QueryBolt keeps a version-keyed snapshot of its skeleton replica.
 """
 
 from __future__ import annotations
@@ -28,12 +34,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..algorithms.dijkstra import dijkstra
 from ..algorithms.yen import LazyYen, yen_k_shortest_paths
 from ..core.dtlp import DTLP
-from ..core.skeleton import SkeletonGraph
-from ..core.subgraph_index import SubgraphIndex
+from ..core.ksp_dg import validate_kernel
 from ..graph.errors import ClusterError, PathNotFoundError
 from ..graph.graph import WeightUpdate
-from ..graph.partition import GraphPartition
 from ..graph.paths import Path, merge_paths
+from ..kernel.snapshot import CSRSnapshot
 from ..workloads.queries import KSPQuery
 from .cluster import SimulatedCluster
 
@@ -50,12 +55,14 @@ class SubgraphBolt:
         cluster: SimulatedCluster,
         dtlp: DTLP,
         subgraph_ids: Sequence[int],
+        kernel: str = "snapshot",
     ) -> None:
         self.name = name
         self.worker_id = worker_id
         self._cluster = cluster
         self._dtlp = dtlp
         self._partition = dtlp.partition
+        self._kernel = validate_kernel(kernel)
         self.subgraph_ids: Set[int] = set(subgraph_ids)
         worker = cluster.worker(worker_id)
         worker.host(name)
@@ -63,6 +70,17 @@ class SubgraphBolt:
             worker.charge_memory(
                 dtlp.subgraph_index(subgraph_id).memory_estimate_bytes()
             )
+
+    def _subgraph_view(self, subgraph_id: int):
+        """The compute view of one owned subgraph under the selected kernel.
+
+        Snapshots live in the shared DTLP cache, so they persist across
+        micro-batches and are refreshed incrementally after
+        ``apply_updates`` instead of being rebuilt per query.
+        """
+        if self._kernel == "snapshot":
+            return self._dtlp.subgraph_snapshot(subgraph_id)
+        return self._partition.subgraph(subgraph_id)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -101,7 +119,7 @@ class SubgraphBolt:
                 continue
             collected: List[Path] = []
             for subgraph_id in local_owners:
-                subgraph = self._partition.subgraph(subgraph_id)
+                subgraph = self._subgraph_view(subgraph_id)
                 try:
                     collected.extend(yen_k_shortest_paths(subgraph, pair[0], pair[1], k))
                 except PathNotFoundError:
@@ -150,7 +168,7 @@ class SubgraphBolt:
             subgraph = self._partition.subgraph(subgraph_id)
             if source not in subgraph.vertices or target not in subgraph.vertices:
                 continue
-            distances, _ = dijkstra(subgraph, source, target=target)
+            distances, _ = dijkstra(self._subgraph_view(subgraph_id), source, target=target)
             if target in distances:
                 value = distances[target]
                 if best is None or value < best:
@@ -170,6 +188,7 @@ class QueryBolt:
         dtlp: DTLP,
         subgraph_bolts: Sequence[SubgraphBolt],
         k_default: int = 2,
+        kernel: str = "snapshot",
     ) -> None:
         self.name = name
         self.worker_id = worker_id
@@ -178,6 +197,12 @@ class QueryBolt:
         self._partition = dtlp.partition
         self._subgraph_bolts = list(subgraph_bolts)
         self._k_default = k_default
+        self._kernel = validate_kernel(kernel)
+        # Cached kernel view of the un-augmented skeleton replica, keyed by
+        # the graph version it was refreshed at (maintenance bumps the
+        # version, so a stale replica is detected with one int compare).
+        self._skeleton_snapshot: Optional[CSRSnapshot] = None
+        self._skeleton_version: int = -1
         worker = cluster.worker(worker_id)
         worker.host(name)
         worker.charge_memory(dtlp.skeleton_graph.memory_estimate_bytes())
@@ -219,7 +244,10 @@ class QueryBolt:
             skeleton = skeleton.augmented(attachments)
             if direct_edge is not None and query.source != query.target:
                 skeleton.update_edge_minimum(query.source, query.target, direct_edge)
-        enumerator = LazyYen(skeleton, query.source, query.target)
+        search_skeleton = (
+            self._skeleton_view(skeleton) if self._kernel == "snapshot" else skeleton
+        )
+        enumerator = LazyYen(search_skeleton, query.source, query.target)
         worker.charge_compute(time.perf_counter() - started)
 
         top_paths: List[Path] = []
@@ -288,6 +316,25 @@ class QueryBolt:
             paths=top_paths,
             iterations=iterations,
         )
+
+    def _skeleton_view(self, skeleton) -> CSRSnapshot:
+        """Kernel view of ``skeleton`` for this query's reference searches.
+
+        Per-query augmented skeletons get a fresh (small) snapshot; the
+        shared un-augmented replica is snapshotted once and reused across
+        micro-batches, re-read only after maintenance changed the graph
+        version.
+        """
+        if skeleton is not self._dtlp.skeleton_graph:
+            return CSRSnapshot(skeleton)
+        version = self._dtlp.graph.version
+        if self._skeleton_snapshot is None:
+            self._skeleton_snapshot = CSRSnapshot(skeleton)
+            self._skeleton_version = version
+        elif self._skeleton_version != version:
+            self._skeleton_snapshot.refresh()
+            self._skeleton_version = version
+        return self._skeleton_snapshot
 
     def _next_reference(self, enumerator: LazyYen, worker) -> Optional[Path]:
         started = time.perf_counter()

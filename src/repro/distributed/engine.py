@@ -11,12 +11,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from ..core.dtlp import DTLP, DTLPConfig
-from ..core.subgraph_index import SubgraphIndex
 from ..graph.graph import DynamicGraph
-from ..graph.partition import partition_graph
 from ..workloads.queries import KSPQuery
 from ..workloads.runner import QueryOutcome
 from .cluster import SimulatedCluster
@@ -40,20 +38,28 @@ class KSPDGEngine:
         self._topology = topology
 
     @classmethod
-    def local(cls, dtlp: DTLP, num_workers: int = 4) -> "KSPDGEngine":
+    def local(
+        cls, dtlp: DTLP, num_workers: int = 4, kernel: str = "snapshot"
+    ) -> "KSPDGEngine":
         """Build an engine on a fresh simulated topology over ``dtlp``.
 
         Convenience used by the serving layer and the CLI: the topology
         shares the live graph and index objects, so weight updates applied
         through the graph (and propagated with ``dtlp.attach()``) are
-        immediately visible to subsequent queries.
+        immediately visible to subsequent queries.  ``kernel`` selects the
+        compute path of the bolts (array snapshots by default).
         """
-        return cls(StormTopology(dtlp, num_workers=num_workers))
+        return cls(StormTopology(dtlp, num_workers=num_workers, kernel=kernel))
 
     @property
     def topology(self) -> StormTopology:
         """The underlying simulated topology."""
         return self._topology
+
+    @property
+    def kernel(self) -> str:
+        """Compute kernel of the underlying topology."""
+        return self._topology.kernel
 
     def answer(self, query: KSPQuery) -> QueryOutcome:
         """Answer one query (used by the generic batch runner)."""

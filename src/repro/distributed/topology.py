@@ -11,12 +11,12 @@ submitting KSP queries — plus the cost metrics the benchmarks read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..core.dtlp import DTLP
+from ..core.ksp_dg import validate_kernel
 from ..graph.errors import ClusterError
 from ..graph.graph import WeightUpdate
-from ..graph.paths import Path
 from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import SimulatedCluster
@@ -90,12 +90,14 @@ class StormTopology:
         dtlp: DTLP,
         num_workers: int = 4,
         query_bolts_per_worker: int = 1,
+        kernel: str = "snapshot",
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
         if query_bolts_per_worker < 1:
             raise ClusterError("query_bolts_per_worker must be at least 1")
         self._dtlp = dtlp
+        self._kernel = validate_kernel(kernel)
         self._cluster = SimulatedCluster(num_workers)
         partition = dtlp.partition
 
@@ -119,6 +121,7 @@ class StormTopology:
                 cluster=self._cluster,
                 dtlp=dtlp,
                 subgraph_ids=subgraph_ids,
+                kernel=self._kernel,
             )
             self._subgraph_bolts.append(bolt)
 
@@ -131,6 +134,7 @@ class StormTopology:
                     cluster=self._cluster,
                     dtlp=dtlp,
                     subgraph_bolts=self._subgraph_bolts,
+                    kernel=self._kernel,
                 )
                 self._query_bolts.append(bolt)
 
@@ -153,6 +157,11 @@ class StormTopology:
     def dtlp(self) -> DTLP:
         """The DTLP index served by the topology."""
         return self._dtlp
+
+    @property
+    def kernel(self) -> str:
+        """Compute kernel used by the bolts (``"snapshot"`` or ``"dict"``)."""
+        return self._kernel
 
     @property
     def subgraph_bolts(self) -> Sequence[SubgraphBolt]:
@@ -217,6 +226,7 @@ class StormTopology:
                     cluster=self._cluster,
                     dtlp=self._dtlp,
                     subgraph_bolts=self._subgraph_bolts,
+                    kernel=self._kernel,
                 )
             ]
         # Rewire the spout with the surviving components.

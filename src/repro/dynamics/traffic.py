@@ -19,7 +19,7 @@ and the number-of-iterations analysis relies on it.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from ..graph.graph import DynamicGraph, WeightUpdate
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path as FilePath
-from typing import Dict, Iterator, Optional, TextIO, Tuple, Union
+from typing import Dict, Optional, TextIO, Tuple, Union
 
 from .errors import GraphError
 from .graph import DirectedDynamicGraph, DynamicGraph

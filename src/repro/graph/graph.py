@@ -20,11 +20,14 @@ Weight updates are applied through :meth:`DynamicGraph.update_weight` /
 this is how the DTLP index and the CANDS baseline keep themselves current.
 
 The classes deliberately avoid depending on third-party graph libraries so
-the repository is a self-contained reference implementation.
+the repository is a self-contained reference implementation.  The per-edge
+version counters double as the change feed (:meth:`DynamicGraph.edges_changed_since`)
+that keeps the array-backed kernel snapshots current; see ``ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import (
     Callable,
@@ -33,7 +36,6 @@ from typing import (
     Iterator,
     List,
     Mapping,
-    Optional,
     Sequence,
     Tuple,
 )
@@ -121,6 +123,11 @@ class DynamicGraph:
         should instantiate the directed subclass instead of passing ``True``.
     """
 
+    #: Compaction bound of the per-edge change log: when the log exceeds
+    #: this many entries its older half is dropped (consumers that far
+    #: behind fall back to the full version-table scan).
+    CHANGE_LOG_LIMIT = 100_000
+
     def __init__(self, directed: bool = False) -> None:
         self._directed = directed
         # vertex -> {neighbour -> current weight}
@@ -131,6 +138,13 @@ class DynamicGraph:
         self._version = 0
         # canonical edge key -> version at which the edge last changed weight
         self._edge_versions: Dict[Tuple[int, int], int] = {}
+        # Append-only (version, edge key) log of weight changes, so
+        # edges_changed_since(v) costs O(changes after v) instead of
+        # O(all edges ever changed).  Compacted at CHANGE_LOG_LIMIT;
+        # _change_log_floor is the newest version whose changes may have
+        # been dropped from the log.
+        self._change_log: List[Tuple[int, Tuple[int, int]]] = []
+        self._change_log_floor = 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -267,6 +281,41 @@ class DynamicGraph:
             raise EdgeNotFoundError(u, v)
         return self._edge_versions.get(self._key(u, v), 0)
 
+    def edges_changed_since(self, version: int) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(u, v, current_weight)`` for edges changed after ``version``.
+
+        Walks the append-only change log from the first entry newer than
+        ``version`` (found by bisection), so the cost is O(changes after
+        ``version``) — each edge reported once with its current weight.
+        Callers that fell behind a log compaction (more than
+        :data:`CHANGE_LOG_LIMIT` changes ago) fall back to scanning the
+        per-edge version table, which is still O(edges ever changed), not
+        O(E).  This is the incremental-refresh feed of
+        :meth:`repro.kernel.snapshot.CSRSnapshot.refresh`: a snapshot built
+        at version ``t`` becomes current again by rewriting exactly these
+        weights.  Edges are reported with their canonical orientation
+        (``u <= v`` for undirected graphs).
+        """
+        if version >= self._version:
+            return
+        if version >= self._change_log_floor:
+            # A 1-tuple sorts before every (version + 1, key) entry, so this
+            # finds the first change strictly newer than ``version``.
+            start = bisect.bisect_left(self._change_log, (version + 1,))
+            # The same edge may appear in several batches; report it once.
+            seen: set = set()
+            for _, key in self._change_log[start:]:
+                if key in seen:
+                    continue
+                seen.add(key)
+                u, v = key
+                yield u, v, self._adjacency[u][v]
+            return
+        for key, edge_version in self._edge_versions.items():
+            if edge_version > version:
+                u, v = key
+                yield u, v, self._adjacency[u][v]
+
     def path_version(self, vertices: Sequence[int]) -> int:
         """Largest :meth:`edge_version` along the path ``vertices``.
 
@@ -345,7 +394,13 @@ class DynamicGraph:
             return
         self._version += 1
         for update in applied:
-            self._edge_versions[self._key(update.u, update.v)] = self._version
+            key = self._key(update.u, update.v)
+            self._edge_versions[key] = self._version
+            self._change_log.append((self._version, key))
+        if len(self._change_log) > self.CHANGE_LOG_LIMIT:
+            keep_from = len(self._change_log) // 2
+            self._change_log_floor = self._change_log[keep_from - 1][0]
+            del self._change_log[:keep_from]
         for listener in list(self._listeners):
             listener(applied)
 
@@ -364,6 +419,9 @@ class DynamicGraph:
         clone._initial_weights = dict(self._initial_weights)
         clone._version = self._version
         clone._edge_versions = dict(self._edge_versions)
+        # The change log is not copied: queries older than the clone point
+        # must fall back to the version-table scan.
+        clone._change_log_floor = self._version
         return clone
 
     def subgraph_view(self, vertices: Iterable[int]) -> "DynamicGraph":

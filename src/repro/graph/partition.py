@@ -19,7 +19,7 @@ all of which the DTLP index and the KSP-DG query algorithm need.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .errors import PartitionError, VertexNotFoundError
 from .graph import DynamicGraph, edge_key

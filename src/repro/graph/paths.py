@@ -10,7 +10,7 @@ re-evaluate a path against the current weights of a graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 __all__ = ["Path", "merge_paths", "is_simple", "path_edges"]
 

@@ -1,0 +1,151 @@
+"""Array-native shortest-path primitives operating in snapshot index space.
+
+These functions are the hot inner loops of the repository.  They work on
+the per-vertex row view of a :class:`~repro.kernel.snapshot.CSRSnapshot`
+(``rows[i]`` is a tuple of ``(neighbour_index, weight)`` pairs derived from
+the flat CSR arrays) — no neighbour-adapter dispatch, no per-edge dictionary
+probing — and every identifier they touch is a dense ``0..n-1`` index, so
+tentative distances and predecessors are plain lists.
+
+Settled-vertex bookkeeping uses the classic stale-entry test (``d >
+dist[u]``) instead of a visited set: with non-negative weights a vertex's
+distance is final when it first pops fresh, and any later heap entry for it
+carries a strictly larger key, so no separate flag array is needed.
+
+Determinism contract: given rows in the same order as the reference graph's
+``neighbors`` iteration and an order-isomorphic id → index mapping (both
+guaranteed by :class:`CSRSnapshot`), the relaxation sequence — and therefore
+distances *and* predecessor choices on ties — is identical to the
+dict-based reference in :mod:`repro.algorithms.dijkstra`.  The property
+suite (``tests/test_kernel_properties.py``) pins this down.
+
+See ``ARCHITECTURE.md`` for how the layers fit together.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional, Sequence, Set, Tuple
+
+__all__ = ["dijkstra_arrays", "reconstruct_indices"]
+
+_INF = float("inf")
+
+
+def dijkstra_arrays(
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int = -1,
+    allowed: Optional[Set[int]] = None,
+    banned_vertices: Optional[Set[int]] = None,
+    banned_pairs: Optional[Set[Tuple[int, int]]] = None,
+    track_touched: bool = True,
+) -> Tuple[List[float], List[int], Optional[List[int]]]:
+    """Dijkstra over snapshot rows; everything is in index space.
+
+    Parameters
+    ----------
+    rows:
+        Per-vertex adjacency rows of ``(neighbour_index, weight)`` pairs
+        (:attr:`CSRSnapshot.rows`).
+    num_vertices:
+        Number of vertices (``len(rows)``).
+    source:
+        Source vertex index.
+    target:
+        Optional target index; ``-1`` disables early exit.
+    allowed:
+        When given, the search never expands outside this index set.
+    banned_vertices:
+        Vertex indices that may not be visited (Yen spur searches).
+    banned_pairs:
+        Directed index pairs ``(u, v)`` that may not be traversed.
+    track_touched:
+        When ``True`` the third return value lists exactly the labelled
+        indices (source first), letting callers build id-space dictionaries
+        in O(labelled); pass ``False`` when only ``dist[target]`` and the
+        predecessor walk are needed (the ``shortest_path`` / Yen fast
+        paths) to keep the inner loop minimal.
+
+    Returns
+    -------
+    (dist, pred, touched)
+        ``dist``/``pred`` are dense lists over all vertex indices
+        (``inf`` / ``-1`` when unlabelled); ``touched`` is ``None`` when
+        ``track_touched`` is ``False``.
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+
+    if allowed is None and banned_vertices is None and banned_pairs is None:
+        if not track_touched:
+            # Leanest loop: full-path queries need only the target label
+            # and the predecessor chain.
+            while heap:
+                d, u = heappop(heap)
+                if d > dist[u]:
+                    continue
+                if u == target:
+                    break
+                for v, w in rows[u]:
+                    nd = d + w
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        pred[v] = u
+                        heappush(heap, (nd, v))
+            return dist, pred, None
+        touched: List[int] = [source]
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            if u == target:
+                break
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    if dist[v] == _INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    pred[v] = u
+                    heappush(heap, (nd, v))
+        return dist, pred, touched
+
+    # Constrained variant (spur searches): ban tests mirror the reference
+    # implementation's order so the relaxation sequence stays identical.
+    banned_v = banned_vertices if banned_vertices is not None else ()
+    banned_p = banned_pairs if banned_pairs is not None else ()
+    touched = [source]
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        if u == target:
+            break
+        for v, w in rows[u]:
+            if v in banned_v:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            if banned_p and (u, v) in banned_p:
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                if dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+    return dist, pred, touched
+
+
+def reconstruct_indices(pred: Sequence[int], source: int, target: int) -> List[int]:
+    """Rebuild the index-space vertex sequence from ``source`` to ``target``."""
+    sequence = [target]
+    while sequence[-1] != source:
+        sequence.append(pred[sequence[-1]])
+    sequence.reverse()
+    return sequence

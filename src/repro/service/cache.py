@@ -30,7 +30,7 @@ one by one).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import WeightUpdate, edge_key
 from ..graph.paths import Path, path_edges

@@ -21,6 +21,11 @@ Consistency model: updates are applied only *between* micro-batches, so all
 queries of a batch observe one graph snapshot (the paper's ``G_curr``), and
 cache entries surviving scoped invalidation are distance-exact (see
 :mod:`repro.service.cache`).
+
+Engines may answer on the array-backed kernel (``kernel="snapshot"``, the
+default) or the dict reference path; the report records which one ran (see
+``ARCHITECTURE.md``).  Either way the cache is invalidated by the graph's
+update stream, so correctness is kernel-independent.
 """
 
 from __future__ import annotations
@@ -328,6 +333,7 @@ class KSPService:
             hit_rate = 0.0
         return self._telemetry.build_report(
             engine_name=getattr(self._engine, "name", type(self._engine).__name__),
+            kernel=getattr(self._engine, "kernel", "dict"),
             graph_version=self._graph.version,
             cache_hits=hits,
             cache_misses=misses,

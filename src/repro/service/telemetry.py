@@ -68,11 +68,13 @@ class ServiceReport:
     cache_invalidations: int
     cache_full_flushes: int
     cache_stale_rejections: int
+    kernel: str = "dict"
 
     def as_dict(self) -> Dict[str, Union[int, float, str]]:
         """Ordered mapping used by the CLI table and the benchmarks."""
         return {
             "engine": self.engine_name,
+            "kernel": self.kernel,
             "graph version": self.graph_version,
             "queries served": self.queries_served,
             "unique computations": self.unique_computations,
@@ -157,6 +159,7 @@ class ServiceTelemetry:
         cache_invalidations: int,
         cache_full_flushes: int,
         cache_stale_rejections: int = 0,
+        kernel: str = "dict",
     ) -> ServiceReport:
         """Freeze the current counters into a :class:`ServiceReport`."""
         # Pre-sorted so the three percentile() calls below don't each
@@ -191,4 +194,5 @@ class ServiceTelemetry:
             cache_invalidations=cache_invalidations,
             cache_full_flushes=cache_full_flushes,
             cache_stale_rejections=cache_stale_rejections,
+            kernel=kernel,
         )

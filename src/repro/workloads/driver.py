@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional
 
 from ..core.dtlp import DTLP
 from ..core.ksp_dg import KSPDG
 from ..dynamics.traffic import TrafficModel
 from ..graph.graph import DynamicGraph
-from .queries import KSPQuery, QueryGenerator
+from .queries import QueryGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
     # Imported lazily to avoid a circular import: repro.distributed builds on

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
 from ..graph.graph import DynamicGraph
 

@@ -8,7 +8,9 @@ The paper compares three ways of answering batches of concurrent KSP queries:
 * **FindKSP**, centralized, replicated the same way.
 
 This module defines a small engine protocol (:class:`QueryEngine`) plus
-concrete engines for the two centralized baselines, and
+concrete engines for the two centralized baselines (which maintain a
+whole-graph kernel snapshot across queries when ``kernel="snapshot"`` —
+see ``ARCHITECTURE.md``), and
 :class:`BatchRunner`, which executes a batch against an engine and records
 both the real wall-clock time and the *simulated parallel time* obtained by
 spreading queries over ``num_servers`` servers.  The distributed KSP-DG
@@ -20,13 +22,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence
 
 from ..algorithms.find_ksp import find_ksp
 from ..algorithms.yen import yen_k_shortest_paths
+from ..core.ksp_dg import validate_kernel
 from ..graph.errors import PathNotFoundError
 from ..graph.graph import DynamicGraph
 from ..graph.paths import Path
+from ..kernel.snapshot import CSRSnapshot
 from .queries import KSPQuery
 
 __all__ = [
@@ -106,38 +110,61 @@ class QueryEngine(Protocol):
         ...
 
 
-class YenEngine:
+class _CentralizedEngine:
+    """Shared plumbing of the centralized baselines (Yen / FindKSP).
+
+    ``kernel="snapshot"`` (the default) maintains one
+    :class:`~repro.kernel.snapshot.CSRSnapshot` of the whole graph across
+    queries and refreshes it incrementally before each answer — one int
+    compare when nothing changed, O(changed edges) after a maintenance
+    round; ``kernel="dict"`` answers on the live adjacency dictionaries
+    (the reference path, see ``ARCHITECTURE.md``).
+    """
+
+    name = "abstract"
+
+    def __init__(self, graph: DynamicGraph, kernel: str = "snapshot") -> None:
+        self._graph = graph
+        self.kernel = validate_kernel(kernel)
+        self._snapshot: Optional[CSRSnapshot] = None
+
+    def _view(self):
+        """The compute view answering the next query (refreshed snapshot or graph)."""
+        if self.kernel != "snapshot":
+            return self._graph
+        if self._snapshot is None:
+            self._snapshot = CSRSnapshot(self._graph)
+        else:
+            self._snapshot.refresh()
+        return self._snapshot
+
+
+class YenEngine(_CentralizedEngine):
     """Centralized Yen's algorithm baseline."""
 
     name = "Yen"
-
-    def __init__(self, graph: DynamicGraph) -> None:
-        self._graph = graph
 
     def answer(self, query: KSPQuery) -> QueryOutcome:
         """Answer one query with Yen's algorithm on the full graph."""
         started = time.perf_counter()
         try:
-            paths = yen_k_shortest_paths(self._graph, query.source, query.target, query.k)
+            paths = yen_k_shortest_paths(self._view(), query.source, query.target, query.k)
         except PathNotFoundError:
             paths = []
         elapsed = time.perf_counter() - started
         return QueryOutcome(query=query, paths=paths, elapsed_seconds=elapsed)
 
 
-class FindKSPEngine:
+class FindKSPEngine(_CentralizedEngine):
     """Centralized FindKSP baseline (SPT-guided deviations)."""
 
     name = "FindKSP"
-
-    def __init__(self, graph: DynamicGraph) -> None:
-        self._graph = graph
 
     def answer(self, query: KSPQuery) -> QueryOutcome:
         """Answer one query with the FindKSP strategy on the full graph."""
         started = time.perf_counter()
         try:
-            paths = find_ksp(self._graph, query.source, query.target, query.k)
+            paths = find_ksp(self._view(), query.source, query.target, query.k)
         except PathNotFoundError:
             paths = []
         elapsed = time.perf_counter() - started

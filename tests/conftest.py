@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import DTLP, DTLPConfig
-from repro.graph import DynamicGraph, partition_graph, road_network
+from repro.graph import DynamicGraph, road_network
 
 
 @pytest.fixture(scope="session")

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import EPIndex
 from repro.core.bounding_paths import BoundingPath, compute_bounding_paths
-from repro.graph import DynamicGraph, Subgraph, road_network
+from repro.graph import DynamicGraph, Subgraph
 
 
 def full_subgraph(graph, subgraph_id=0):

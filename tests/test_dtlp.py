@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import dijkstra, shortest_distance
+from repro.algorithms import dijkstra
 from repro.core import DTLP, DTLPConfig
 from repro.dynamics import TrafficModel
 from repro.graph import IndexStateError, partition_graph, road_network

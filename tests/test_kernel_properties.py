@@ -1,0 +1,172 @@
+"""Property tests: the snapshot kernel is bit-identical to the dict reference.
+
+Every test runs the same computation twice — once on the dict-of-dict
+graph objects (the reference implementation) and once through
+:class:`~repro.kernel.snapshot.CSRSnapshot` — over randomized graphs,
+endpoints and weight-update histories, and asserts the *exact* same output:
+same distances, same predecessor choices on ties, same path sequences in
+the same order.  This is the contract that lets the snapshot kernel be the
+production default while the dict path stays the executable specification
+(see ``ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra, shortest_path
+from repro.algorithms.find_ksp import find_ksp
+from repro.algorithms.yen import yen_k_shortest_paths
+from repro.core import DTLP, DTLPConfig, KSPDG
+from repro.dynamics import TrafficModel
+from repro.graph import road_network
+from repro.graph.errors import PathNotFoundError
+from repro.graph.generators import random_graph
+from repro.graph.graph import WeightUpdate
+from repro.kernel import CSRSnapshot
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _random_updates(graph, rng: random.Random, fraction: float = 0.3):
+    """A random weight-update batch over ``fraction`` of the edges."""
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    picked = edges[: max(1, int(len(edges) * fraction))]
+    return [
+        WeightUpdate(u, v, round(rng.uniform(0.5, 12.0), 3)) for u, v, _ in picked
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dijkstra_identical_on_random_graphs(seed: int) -> None:
+    rng = random.Random(seed)
+    graph = random_graph(120, 300, seed=seed)
+    snapshot = CSRSnapshot(graph)
+    for _ in range(8):
+        source = rng.randrange(120)
+        target = rng.randrange(120)
+        assert dijkstra(graph, source) == dijkstra(snapshot, source)
+        assert dijkstra(graph, source, target=target) == dijkstra(
+            snapshot, source, target=target
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dijkstra_identical_with_bans_and_allowed(seed: int) -> None:
+    rng = random.Random(seed + 100)
+    graph = random_graph(80, 200, seed=seed)
+    snapshot = CSRSnapshot(graph)
+    vertices = list(graph.vertices())
+    for _ in range(8):
+        source = rng.choice(vertices)
+        target = rng.choice(vertices)
+        banned_vertices = set(rng.sample(vertices, 8)) - {source}
+        banned_edges = set()
+        for u, v, _ in rng.sample(list(graph.edges()), 10):
+            banned_edges.add((u, v))
+            banned_edges.add((v, u))
+        allowed = set(rng.sample(vertices, 60)) | {source, target}
+        kwargs = dict(
+            target=target,
+            allowed_vertices=allowed,
+            banned_vertices=banned_vertices,
+            banned_edges=banned_edges,
+        )
+        assert dijkstra(graph, source, **kwargs) == dijkstra(snapshot, source, **kwargs)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_shortest_path_identical(seed: int) -> None:
+    rng = random.Random(seed + 200)
+    graph = random_graph(100, 260, seed=seed)
+    snapshot = CSRSnapshot(graph)
+    for _ in range(10):
+        source, target = rng.randrange(100), rng.randrange(100)
+        assert shortest_path(graph, source, target) == shortest_path(
+            snapshot, source, target
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("directed", [False, True])
+def test_yen_identical(seed: int, directed: bool) -> None:
+    rng = random.Random(seed + 300)
+    graph = random_graph(60, 150, seed=seed, directed=directed)
+    snapshot = CSRSnapshot(graph)
+    for _ in range(4):
+        source, target = rng.randrange(60), rng.randrange(60)
+        try:
+            expected = yen_k_shortest_paths(graph, source, target, 5)
+        except PathNotFoundError:
+            with pytest.raises(PathNotFoundError):
+                yen_k_shortest_paths(snapshot, source, target, 5)
+            continue
+        assert yen_k_shortest_paths(snapshot, source, target, 5) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_find_ksp_identical(seed: int) -> None:
+    rng = random.Random(seed + 400)
+    graph = random_graph(60, 150, seed=seed)
+    snapshot = CSRSnapshot(graph)
+    for _ in range(4):
+        source, target = rng.randrange(60), rng.randrange(60)
+        assert find_ksp(graph, source, target, 4) == find_ksp(snapshot, source, target, 4)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_identity_survives_update_refresh_cycles(seed: int) -> None:
+    """Interleave weight updates with queries; refresh keeps results exact."""
+    rng = random.Random(seed + 500)
+    graph = random_graph(90, 220, seed=seed)
+    snapshot = CSRSnapshot(graph)
+    for _ in range(5):
+        graph.apply_updates(_random_updates(graph, rng))
+        snapshot.refresh()
+        for _ in range(4):
+            source, target = rng.randrange(90), rng.randrange(90)
+            assert dijkstra(graph, source, target=target) == dijkstra(
+                snapshot, source, target=target
+            )
+        source, target = rng.randrange(90), rng.randrange(90)
+        assert yen_k_shortest_paths(graph, source, target, 4) == yen_k_shortest_paths(
+            snapshot, source, target, 4
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_ksp_dg_kernels_identical(seed: int) -> None:
+    """Full KSP-DG stack: snapshot kernel equals dict kernel, path for path."""
+    graph = road_network(12, 12, seed=seed)
+    dtlp = DTLP(graph, DTLPConfig(z=24, xi=3)).build()
+    fast = KSPDG(dtlp, kernel="snapshot")
+    reference = KSPDG(dtlp, kernel="dict")
+    rng = random.Random(seed + 600)
+    vertices = list(graph.vertices())
+    for _ in range(6):
+        source, target = rng.choice(vertices), rng.choice(vertices)
+        a = fast.query(source, target, 3)
+        b = reference.query(source, target, 3)
+        assert a.paths == b.paths
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_ksp_dg_kernels_identical_under_maintenance(seed: int) -> None:
+    """Snapshot/dict equality holds across DTLP maintenance rounds."""
+    graph = road_network(10, 10, seed=seed)
+    dtlp = DTLP(graph, DTLPConfig(z=24, xi=3)).build().attach()
+    fast = KSPDG(dtlp, kernel="snapshot")
+    reference = KSPDG(dtlp, kernel="dict")
+    model = TrafficModel(graph, alpha=0.25, tau=0.4, seed=seed)
+    rng = random.Random(seed + 700)
+    vertices = list(graph.vertices())
+    for _ in range(4):
+        model.advance()
+        for _ in range(3):
+            source, target = rng.choice(vertices), rng.choice(vertices)
+            assert fast.query(source, target, 3).paths == reference.query(
+                source, target, 3
+            ).paths

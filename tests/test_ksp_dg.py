@@ -86,7 +86,6 @@ class TestQueryCorrectness:
 
     def test_k_larger_than_number_of_paths(self):
         from repro.graph import DynamicGraph
-        from repro.graph import partition_graph
 
         graph = DynamicGraph()
         graph.add_edge(0, 1, 1.0)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import DTLP, DTLPConfig, build_mfp_forest, lsh_group_edges
 from repro.core.mfp_tree import MFPForest, MFPNode, MFPTree

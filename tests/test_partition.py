@@ -9,7 +9,6 @@ from repro.graph import (
     PartitionError,
     Subgraph,
     VertexNotFoundError,
-    grid_graph,
     partition_graph,
     road_network,
 )

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import dijkstra, find_ksp, shortest_distance, yen_k_shortest_paths
+from repro.algorithms import dijkstra, find_ksp, yen_k_shortest_paths
 from repro.core import DTLP, DTLPConfig, KSPDG, build_mfp_forest, lsh_group_edges
 from repro.graph import partition_graph, random_graph
 from repro.graph.graph import WeightUpdate, edge_key

@@ -11,7 +11,7 @@ from repro.workloads import (
     QueryGenerator,
     YenEngine,
 )
-from repro.graph import DynamicGraph, road_network
+from repro.graph import DynamicGraph
 
 
 class TestKSPQuery:
