@@ -1,0 +1,172 @@
+"""Execution-backend scaling: q/s and DTLP build time vs worker count.
+
+Measures the physical side of the Placement/Executor split
+(``ARCHITECTURE.md``): the same KSP-DG query batch and the same DTLP
+construction executed on the ``serial`` reference backend and on the
+``process`` backend with 1/2/4 resident worker replicas.
+
+Two classes of claims:
+
+* **identity** (hard assertion, any hardware): every backend returns
+  bit-identical paths and distances;
+* **scaling** (asserted only when the machine actually exposes multiple
+  cores): with >= 4 usable cores, the 4-worker process backend must beat
+  the serial backend on batch throughput.  On single-core containers the
+  numbers are still measured and reported — expect process ≈ serial minus
+  IPC overhead there, which is the honest result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench import print_experiment
+from repro.bench.harness import build_dataset, build_dtlp, make_queries, run_topology_batch
+from repro.core import DTLPConfig
+from repro.distributed import distributed_build_report
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _signature(report):
+    return [
+        [(path.vertices, path.distance) for path in result.paths]
+        for result in report.results
+    ]
+
+
+@pytest.mark.paper_figure("exec-scaling")
+def test_query_throughput_scaling(scale, benchmark) -> None:
+    graph = build_dataset("NY", scale=scale.graph_scale)
+    dtlp = build_dtlp("NY", z=48, xi=3, scale=scale.graph_scale)
+    num_queries = 24 if scale.name == "quick" else 60
+    queries = make_queries(graph, num_queries, k=3, seed=71)
+    cores = _available_cores()
+
+    rows = []
+    reference_signature = None
+    serial_qps = 0.0
+    process_qps = {}
+    for executor in ("serial", "process"):
+        for workers in WORKER_COUNTS:
+            if executor == "serial" and workers != WORKER_COUNTS[-1]:
+                # Physical serial execution is worker-count independent;
+                # measure it once on the widest logical placement.
+                continue
+            report, best_wall = run_topology_batch(
+                dtlp, queries, num_workers=workers, executor=executor, repeats=3
+            )
+            signature = _signature(report)
+            if reference_signature is None:
+                reference_signature = signature
+            else:
+                # Identity contract: every backend/worker-count returns
+                # bit-identical paths and distances.
+                assert signature == reference_signature
+            qps = len(queries) / best_wall
+            if executor == "serial":
+                serial_qps = qps
+            else:
+                process_qps[workers] = qps
+            rows.append(
+                [
+                    executor,
+                    workers,
+                    round(best_wall * 1e3, 1),
+                    round(qps, 1),
+                ]
+            )
+
+    benchmark.pedantic(
+        lambda: run_topology_batch(
+            dtlp, queries[:4], num_workers=2, executor="serial"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_experiment(
+        f"Executor scaling: KSP-DG batch of {len(queries)} queries, k=3 "
+        f"({graph.num_vertices} vertices; {cores} usable core(s))",
+        ["executor", "workers", "batch wall (ms)", "queries/s"],
+        rows,
+        notes="identical paths/distances asserted across all configurations; "
+        "process workers hold resident topology replicas and receive only "
+        "query envelopes"
+        + (
+            ""
+            if cores >= 4
+            else "; single-core host: process backend cannot exceed serial here"
+        ),
+    )
+
+    if cores >= 4:
+        assert process_qps[4] > serial_qps, (
+            f"4-worker process backend ({process_qps[4]:.1f} q/s) failed to beat "
+            f"serial ({serial_qps:.1f} q/s) on a {cores}-core host"
+        )
+
+
+@pytest.mark.paper_figure("exec-scaling")
+def test_dtlp_build_scaling(scale) -> None:
+    graph = build_dataset("COL", scale=scale.graph_scale)
+    config = DTLPConfig(z=48, xi=3)
+    cores = _available_cores()
+
+    started = time.perf_counter()
+    serial = distributed_build_report(graph, config, num_workers=1)
+    serial_wall = time.perf_counter() - started
+
+    rows = [
+        [
+            "serial",
+            1,
+            round(serial_wall, 3),
+            round(serial.total_build_seconds, 3),
+            round(serial.parallel_build_seconds, 3),
+        ]
+    ]
+    parallel_walls = {}
+    for workers in WORKER_COUNTS:
+        report = distributed_build_report(
+            graph, config, num_workers=workers, executor="process"
+        )
+        parallel_walls[workers] = report.parallel_build_seconds
+        rows.append(
+            [
+                "process",
+                workers,
+                round(report.parallel_build_seconds, 3),
+                round(report.total_build_seconds, 3),
+                round(report.parallel_build_seconds, 3),
+            ]
+        )
+        # The adopted index must be equivalent to the serially built one.
+        assert {
+            (u, v): w for u, v, w in report.dtlp.skeleton_graph.edges()
+        } == {(u, v): w for u, v, w in serial.dtlp.skeleton_graph.edges()}
+
+    print_experiment(
+        f"Executor scaling: parallel DTLP construction on COL "
+        f"({graph.num_vertices} vertices; {cores} usable core(s))",
+        ["executor", "workers", "wall (s)", "sum of per-subgraph (s)", "parallel (s)"],
+        rows,
+        notes="serial row models the makespan from measured per-subgraph times "
+        "(Figure 42); process rows measure real wall-clock of the fan-out, and "
+        "the resulting skeleton graph is asserted identical to the serial build",
+    )
+
+    if cores >= 4:
+        assert parallel_walls[4] < serial_wall, (
+            f"4-worker parallel build ({parallel_walls[4]:.3f}s) failed to beat "
+            f"the serial build ({serial_wall:.3f}s) on a {cores}-core host"
+        )

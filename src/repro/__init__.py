@@ -9,14 +9,19 @@ queries over dynamic road networks:
 * :mod:`repro.kernel` — array-backed graph snapshots (CSR) and the
   index-space shortest-path primitives every hot path runs on (see
   ``ARCHITECTURE.md``).
+* :mod:`repro.exec` — pluggable physical execution backends (``serial`` /
+  ``thread`` / ``process``): the process backend runs query batches on
+  persistent worker processes holding resident index replicas, receiving
+  only weight-update deltas and query envelopes between rounds.
 * :mod:`repro.algorithms` — Dijkstra primitives, Yen's algorithm, the
   FindKSP baseline and the CANDS single-shortest-path baseline; all accept
   either a graph-like object or a kernel snapshot.
 * :mod:`repro.core` — the DTLP two-level index (bounding paths, EP-Index,
   lower bounds, skeleton graph, MinHash/LSH + MFP-tree compression) and the
   KSP-DG filter-and-refine query algorithm.
-* :mod:`repro.distributed` — a simulated Storm-like cluster runtime with
-  per-worker cost accounting (spouts, bolts, topology).
+* :mod:`repro.distributed` — the logical cluster: balanced placement,
+  Storm-like topology (spouts, bolts), deterministic query routing and
+  per-worker cost accounting, executed on any :mod:`repro.exec` backend.
 * :mod:`repro.dynamics` — the traffic model that evolves edge weights.
 * :mod:`repro.workloads` — query generation and batch runners.
 * :mod:`repro.service` — the online serving layer: a long-lived
@@ -69,8 +74,16 @@ from .core import (
     diverse_ksp,
     path_overlap,
 )
-from .distributed import KSPDGEngine, SimulatedCluster, StormTopology, TopologyReport
+from .distributed import KSPDGEngine, Placement, SimulatedCluster, StormTopology, TopologyReport
 from .dynamics import TrafficModel
+from .exec import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .graph import (
     DATASET_SPECS,
     DirectedDynamicGraph,
@@ -151,6 +164,14 @@ __all__ = [
     "StormTopology",
     "TopologyReport",
     "KSPDGEngine",
+    "Placement",
+    # exec
+    "EXECUTORS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     # dynamics & workloads
     "TrafficModel",
     "KSPQuery",

@@ -17,10 +17,12 @@ rows mirror the paper's series.  This module centralises the shared pieces:
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from ..core.dtlp import DTLP, DTLPConfig
+from ..distributed.topology import StormTopology, TopologyReport
 from ..dynamics.traffic import TrafficModel
 from ..graph.generators import dataset as make_dataset
 from ..graph.graph import DynamicGraph, WeightUpdate
@@ -34,6 +36,7 @@ __all__ = [
     "build_dtlp",
     "make_queries",
     "make_update_batch",
+    "run_topology_batch",
     "DATASET_DEFAULT_Z",
 ]
 
@@ -177,3 +180,30 @@ def make_update_batch(
     """Generate (without applying) one snapshot of weight updates."""
     model = TrafficModel(graph, alpha=alpha, tau=tau, seed=seed)
     return model.generate_updates()
+
+
+def run_topology_batch(
+    dtlp: DTLP,
+    queries: List[KSPQuery],
+    num_workers: int,
+    executor: str = "serial",
+    repeats: int = 1,
+) -> Tuple[TopologyReport, float]:
+    """Run a query batch on a fresh topology with the given backend.
+
+    Convenience for executor-scaling experiments
+    (``benchmarks/test_exec_scaling.py``): builds the topology, runs the
+    batch ``repeats`` times, and tears the backend down again, returning
+    ``(report, best_wall_seconds)`` — the report carries the logical cost
+    model, the wall time the physical execution cost.  With ``repeats > 1``
+    one-time backend setup (worker-process spawn, replica shipping) is paid
+    in the first run only, so the best wall time reflects steady-state
+    batch throughput.
+    """
+    with StormTopology(dtlp, num_workers=num_workers, executor=executor) as topology:
+        best_wall = float("inf")
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            report = topology.run_queries(queries)
+            best_wall = min(best_wall, time.perf_counter() - started)
+    return report, best_wall

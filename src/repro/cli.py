@@ -19,8 +19,11 @@ online serving layer (:mod:`repro.service`) and prints the service report;
 one query wave per epoch), printing rolling per-epoch lines and the final
 report.  Every command accepts either ``--dataset`` (one of NY, COL, FLA,
 CUSA, a scaled synthetic analogue) or ``--gr`` (path to a DIMACS file);
-``replay`` and ``serve`` additionally accept ``--kernel {snapshot,dict}``
-to pick the compute path (see ``ARCHITECTURE.md``), which the printed
+``bench``, ``replay`` and ``serve`` additionally accept
+``--executor {serial,thread,process}`` to pick the physical execution
+backend (worker processes hold resident index replicas; see
+``ARCHITECTURE.md``, "Execution backends"), and ``replay``/``serve`` accept
+``--kernel {snapshot,dict}`` to pick the compute path, which the printed
 service report echoes back.
 """
 
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from .algorithms import yen_k_shortest_paths
@@ -35,6 +39,7 @@ from .bench.reporting import format_table
 from .core import DTLP, DTLPConfig, KSPDG
 from .distributed import KSPDGEngine, StormTopology
 from .dynamics import TrafficModel
+from .exec import EXECUTORS
 from .graph import DynamicGraph, dataset, read_gr, write_gr
 from .service import KSPService, ServiceOverloadedError, generate_trace, replay
 from .workloads import FindKSPEngine, QueryEngine, QueryGenerator, YenEngine
@@ -86,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--k", type=int, default=2)
     bench.add_argument("--num-queries", type=int, default=20)
     bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--executor", choices=list(EXECUTORS), default=None,
+                       help="physical execution backend running the batch "
+                            "(serial reference, thread pool, or worker processes "
+                            "holding resident index replicas); defaults to "
+                            "$REPRO_EXECUTOR or serial")
     bench.add_argument("--alpha", type=float, default=0.0,
                        help="apply one traffic snapshot changing this fraction of edges first")
     bench.add_argument("--tau", type=float, default=0.3)
@@ -101,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "dict-based reference path; surfaced in the service report")
         sub.add_argument("--workers", type=int, default=4,
                          help="simulated workers for the kspdg engine")
+        sub.add_argument("--executor", choices=list(EXECUTORS), default=None,
+                         help="physical execution backend for cache-miss compute "
+                              "batches (see ARCHITECTURE.md, 'Execution backends'); "
+                              "defaults to $REPRO_EXECUTOR or serial")
         sub.add_argument("--no-cache", action="store_true",
                          help="disable the result cache (every query computes)")
         sub.add_argument("--cache-capacity", type=int, default=4096)
@@ -192,14 +206,19 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.alpha > 0:
         dtlp.attach()
         TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
-    topology = StormTopology(dtlp, num_workers=args.workers)
-    queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
-        args.num_queries, k=args.k
-    )
-    report = topology.run_queries(queries)
+    with StormTopology(dtlp, num_workers=args.workers, executor=args.executor) as topology:
+        executor_name = topology.executor.name
+        queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
+            args.num_queries, k=args.k
+        )
+        started = time.perf_counter()
+        report = topology.run_queries(queries)
+        wall = time.perf_counter() - started
     rows = [
         ["queries", len(queries)],
         ["workers", args.workers],
+        ["executor", executor_name],
+        ["wall time (s)", round(wall, 4)],
         ["parallel time (s)", round(report.makespan_seconds, 4)],
         ["total compute (s)", round(report.total_compute_seconds, 4)],
         ["communication (vertex units)", report.communication_units],
@@ -215,16 +234,26 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
     dtlp: Optional[DTLP] = None
     engine: QueryEngine
     if args.engine == "yen":
-        engine = YenEngine(graph, kernel=args.kernel)
+        engine = YenEngine(
+            graph, kernel=args.kernel, executor=args.executor,
+            executor_workers=args.workers,
+        )
     elif args.engine == "findksp":
-        engine = FindKSPEngine(graph, kernel=args.kernel)
+        engine = FindKSPEngine(
+            graph, kernel=args.kernel, executor=args.executor,
+            executor_workers=args.workers,
+        )
     else:
         dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
-        engine = KSPDGEngine.local(dtlp, num_workers=args.workers, kernel=args.kernel)
+        engine = KSPDGEngine.local(
+            dtlp, num_workers=args.workers, kernel=args.kernel,
+            executor=args.executor,
+        )
     traffic = TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed)
     return KSPService(
         graph,
         engine,
+        owns_engine=True,
         dtlp=dtlp,
         traffic=traffic,
         enable_cache=not args.no_cache,

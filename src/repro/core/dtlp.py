@@ -244,22 +244,54 @@ class DTLP:
     # ------------------------------------------------------------------
     # build
     # ------------------------------------------------------------------
-    def build(self) -> "DTLP":
-        """Construct the full two-level index (Algorithm 1)."""
+    def build(
+        self, prebuilt_indexes: Optional[Mapping[int, SubgraphIndex]] = None
+    ) -> "DTLP":
+        """Construct the full two-level index (Algorithm 1).
+
+        Parameters
+        ----------
+        prebuilt_indexes:
+            Optional already-built first-level indexes, keyed by subgraph
+            id and covering exactly the partition's subgraphs.  Used by the
+            parallel construction path
+            (:func:`repro.distributed.engine.distributed_build_report`
+            with a concurrent executor): the per-subgraph builds happen in
+            executor workers and are adopted here.  Each index is rebound
+            to this DTLP's live subgraph objects, so indexes built from a
+            pickled copy of the graph stay maintainable afterwards.
+        """
         started = time.perf_counter()
         if self._partition is None:
             self._partition = partition_graph(self._graph, self._config.z)
         self._subgraph_indexes.clear()
         self._subgraph_snapshots.clear()
-        for subgraph in self._partition.subgraphs:
-            index = SubgraphIndex(
-                subgraph,
-                xi=self._config.xi,
-                directed=self._config.directed,
-                max_paths_per_count=self._config.max_paths_per_count,
-                max_expansions=self._config.max_expansions,
-            ).build()
-            self._subgraph_indexes[subgraph.subgraph_id] = index
+        if prebuilt_indexes is not None:
+            expected = {s.subgraph_id for s in self._partition.subgraphs}
+            if set(prebuilt_indexes) != expected:
+                raise IndexStateError(
+                    "prebuilt indexes do not cover the partition: got "
+                    f"{sorted(prebuilt_indexes)}, expected {sorted(expected)}"
+                )
+            for subgraph in self._partition.subgraphs:
+                index = prebuilt_indexes[subgraph.subgraph_id]
+                if not index.built:
+                    raise IndexStateError(
+                        f"prebuilt index for subgraph {subgraph.subgraph_id} "
+                        "was never built"
+                    )
+                index.rebind(subgraph)
+                self._subgraph_indexes[subgraph.subgraph_id] = index
+        else:
+            for subgraph in self._partition.subgraphs:
+                index = SubgraphIndex(
+                    subgraph,
+                    xi=self._config.xi,
+                    directed=self._config.directed,
+                    max_paths_per_count=self._config.max_paths_per_count,
+                    max_expansions=self._config.max_expansions,
+                ).build()
+                self._subgraph_indexes[subgraph.subgraph_id] = index
         self._rebuild_skeleton()
         if self._config.build_mfp_trees:
             self._build_mfp_forests()

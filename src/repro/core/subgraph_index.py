@@ -188,6 +188,35 @@ class SubgraphIndex:
         self._build_seconds = time.perf_counter() - started
         return self
 
+    def rebind(self, subgraph: Subgraph) -> "SubgraphIndex":
+        """Re-point the index at an equivalent subgraph object.
+
+        The parallel DTLP build constructs indexes inside executor worker
+        processes; what comes back references the *worker's* copy of the
+        partition and graph.  Rebinding swaps in the caller's live subgraph
+        — which must have the same id, vertex set and edge set — so that
+        subsequent maintenance reads weights from the live graph.  The
+        stored path distances are unaffected: both copies carried identical
+        weights when the index was built.
+        """
+        if subgraph.subgraph_id != self._subgraph.subgraph_id:
+            raise IndexStateError(
+                f"cannot rebind index of subgraph {self._subgraph.subgraph_id} "
+                f"to subgraph {subgraph.subgraph_id}"
+            )
+        if (
+            subgraph.vertices != self._subgraph.vertices
+            or subgraph.edge_set != self._subgraph.edge_set
+        ):
+            raise IndexStateError(
+                f"cannot rebind index of subgraph {self._subgraph.subgraph_id}: "
+                "vertex or edge set differs"
+            )
+        self._subgraph = subgraph
+        if self._unit_weights is not None:
+            self._unit_weights.rebind(subgraph)
+        return self
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------

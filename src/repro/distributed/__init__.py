@@ -1,8 +1,15 @@
-"""Simulated distributed runtime: cluster, Storm-style topology, KSP-DG engine."""
+"""Simulated distributed runtime: placement, Storm-style topology, KSP-DG engine.
+
+The *logical* cluster lives here (placement, routing, cost attribution);
+the *physical* execution backends live in :mod:`repro.exec` — see
+``ARCHITECTURE.md`` ("Placement vs. Executor").
+"""
 
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
-from .cluster import SimulatedCluster, SimulatedWorker, WorkerStats
+from .cluster import ClusterAccountant, SimulatedCluster, SimulatedWorker, WorkerStats
 from .engine import DistributedBuildReport, KSPDGEngine, distributed_build_report
+from .placement import Placement, greedy_balance
+from .runtime import TopologyBundle, TopologyReplica, build_topology_replica
 from .messages import (
     AttachmentRequestMessage,
     AttachmentResponseMessage,
@@ -19,9 +26,15 @@ __all__ = [
     "QueryBolt",
     "QueryBoltResult",
     "SubgraphBolt",
+    "ClusterAccountant",
     "SimulatedCluster",
     "SimulatedWorker",
     "WorkerStats",
+    "Placement",
+    "greedy_balance",
+    "TopologyBundle",
+    "TopologyReplica",
+    "build_topology_replica",
     "DistributedBuildReport",
     "KSPDGEngine",
     "distributed_build_report",

@@ -24,10 +24,22 @@ Bolts compute on the kernel selected at topology construction (see
 subgraphs through the DTLP's shared snapshot cache (persisted across
 micro-batches, refreshed incrementally after ``apply_updates``) and each
 QueryBolt keeps a version-keyed snapshot of its skeleton replica.
+
+Bolts charge their work through an object with the
+:class:`~repro.distributed.cluster.SimulatedCluster` interface — under
+concurrent execution backends the topology hands them a
+:class:`~repro.distributed.cluster.ClusterAccountant` that routes each
+task's charges into a private ledger, keeping the accounting exact (see
+``ARCHITECTURE.md``, "Placement vs. Executor").  During a concurrent batch
+the bolts' shared kernel snapshots must not be refreshed mid-flight; the
+topology calls :meth:`SubgraphBolt.sync_kernel_caches` /
+:meth:`QueryBolt.sync_kernel_caches` once, serially, before fanning out, so
+all snapshot accesses inside the batch are read-only.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -81,6 +93,18 @@ class SubgraphBolt:
         if self._kernel == "snapshot":
             return self._dtlp.subgraph_snapshot(subgraph_id)
         return self._partition.subgraph(subgraph_id)
+
+    def sync_kernel_caches(self) -> None:
+        """Build/refresh the owned subgraphs' shared snapshots, serially.
+
+        Called by the topology before a concurrent batch so that every
+        snapshot is already current and all accesses during the batch are
+        read-only (refresh would otherwise race between tasks).
+        """
+        if self._kernel != "snapshot":
+            return
+        for subgraph_id in self.subgraph_ids:
+            self._dtlp.subgraph_snapshot(subgraph_id)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -207,6 +231,9 @@ class QueryBolt:
         worker.host(name)
         worker.charge_memory(dtlp.skeleton_graph.memory_estimate_bytes())
         self.queries_processed = 0
+        # Guards the counter above: concurrent backends may process several
+        # queries routed to this bolt at once.
+        self._counter_lock = threading.Lock()
 
     def set_subgraph_bolts(self, subgraph_bolts: Sequence[SubgraphBolt]) -> None:
         """Replace the set of SubgraphBolts this QueryBolt fans out to.
@@ -215,6 +242,16 @@ class QueryBolt:
         re-hosted on the survivors.
         """
         self._subgraph_bolts = list(subgraph_bolts)
+
+    def sync_kernel_caches(self) -> None:
+        """Build/refresh the shared skeleton-replica snapshot, serially.
+
+        Called by the topology before a concurrent batch; afterwards the
+        replica snapshot is current for the batch's graph version, so
+        :meth:`_skeleton_view` never mutates it mid-batch.
+        """
+        if self._kernel == "snapshot":
+            self._skeleton_view(self._dtlp.skeleton_graph)
 
     # ------------------------------------------------------------------
     # query processing (Step 2 of Figure 14)
@@ -310,7 +347,8 @@ class QueryBolt:
             if top_paths and kth <= next_reference.distance:
                 break
             reference = next_reference
-        self.queries_processed += 1
+        with self._counter_lock:
+            self.queries_processed += 1
         return QueryBoltResult(
             query=query,
             paths=top_paths,
@@ -445,8 +483,22 @@ class EntranceSpout:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def submit_query(self, query: KSPQuery) -> QueryBoltResult:
-        """Process one query through Step 1 (if needed) and Step 2."""
+    def submit_query(
+        self, query: KSPQuery, route_index: Optional[int] = None
+    ) -> QueryBoltResult:
+        """Process one query through Step 1 (if needed) and Step 2.
+
+        Parameters
+        ----------
+        query:
+            The KSP query.
+        route_index:
+            Global submission index used for deterministic round-robin
+            QueryBolt selection.  The topology supplies it so that replica
+            spouts inside executor worker processes route each query to the
+            same bolt the serial reference would; when omitted the spout
+            falls back to its own internal counter (direct use).
+        """
         attachments: Dict[int, Dict[int, float]] = {}
         direct_edge: Optional[float] = None
         for endpoint in {query.source, query.target}:
@@ -474,7 +526,9 @@ class EntranceSpout:
                 if value is not None and (direct_edge is None or value < direct_edge):
                     direct_edge = value
 
-        query_bolt = self._query_bolts[self._next_query_bolt % len(self._query_bolts)]
-        self._next_query_bolt += 1
+        if route_index is None:
+            route_index = self._next_query_bolt
+            self._next_query_bolt += 1
+        query_bolt = self._query_bolts[route_index % len(self._query_bolts)]
         self._cluster.send(SimulatedCluster.MASTER_ID, query_bolt.worker_id, 3)
         return query_bolt.process_query(query, attachments or None, direct_edge)

@@ -18,12 +18,14 @@ latency trends rather than network-level effects.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.errors import ClusterError
+from .placement import greedy_balance
 
-__all__ = ["WorkerStats", "SimulatedWorker", "SimulatedCluster"]
+__all__ = ["WorkerStats", "SimulatedWorker", "SimulatedCluster", "ClusterAccountant"]
 
 
 @dataclass
@@ -145,13 +147,7 @@ class SimulatedCluster:
         -------
         dict mapping item id to worker id.
         """
-        assignment: Dict[int, int] = {}
-        worker_loads = [0.0] * len(self._workers)
-        for item_id, load in sorted(loads.items(), key=lambda kv: -kv[1]):
-            worker_id = worker_loads.index(min(worker_loads))
-            worker_loads[worker_id] += load
-            assignment[item_id] = worker_id
-        return assignment
+        return greedy_balance(loads, len(self._workers))
 
     def send(self, sender_id: int, recipient_id: int, units: int) -> None:
         """Account for a message of ``units`` from one node to another.
@@ -213,3 +209,86 @@ class SimulatedCluster:
         for worker in self._workers:
             worker.reset_time()
         self._master.reset_time()
+
+    def absorb(self, ledger: "SimulatedCluster") -> None:
+        """Merge another cluster's accumulated counters into this one.
+
+        Used by the concurrent execution backends: each query task charges
+        its work to a private *ledger* cluster of the same shape, and the
+        ledgers are absorbed into the shared cluster in submission order
+        once the batch completes.  The deterministic counters (messages,
+        transfer units, task counts) therefore end up identical to a serial
+        run regardless of physical interleaving; busy time merges additively
+        the same way it accumulates under serial execution.  Memory charges
+        are not merged — index residency is charged once at placement time,
+        never per task.
+        """
+        if ledger.num_workers != self.num_workers:
+            raise ClusterError(
+                "cannot absorb a ledger with a different worker count "
+                f"({ledger.num_workers} != {self.num_workers})"
+            )
+        for mine, theirs in zip(
+            list(self._workers) + [self._master],
+            list(ledger._workers) + [ledger._master],
+        ):
+            mine.stats.busy_seconds += theirs.stats.busy_seconds
+            mine.stats.messages_sent += theirs.stats.messages_sent
+            mine.stats.messages_received += theirs.stats.messages_received
+            mine.stats.units_sent += theirs.stats.units_sent
+            mine.stats.units_received += theirs.stats.units_received
+            mine.stats.tasks_executed += theirs.stats.tasks_executed
+
+
+class ClusterAccountant:
+    """Charge router between a shared cluster and per-task ledgers.
+
+    The bolts and the spout charge all compute/communication through one
+    object with the :class:`SimulatedCluster` interface.  Under serial
+    execution that object can simply be the shared cluster; under
+    concurrent execution (thread pool or worker-process replicas) each task
+    must record into its own ledger to keep the accounting exact — float
+    ``+=`` on shared counters is not atomic across threads.  The accountant
+    forwards every access to the ledger activated on the *current thread*,
+    falling back to the shared base cluster when none is active, so the
+    serial path stays byte-for-byte the seed behaviour.
+    """
+
+    def __init__(self, base: SimulatedCluster) -> None:
+        self._base = base
+        self._local = threading.local()
+
+    @property
+    def base(self) -> SimulatedCluster:
+        """The shared cluster charged when no ledger is active."""
+        return self._base
+
+    def activate(self, ledger: Optional[SimulatedCluster]) -> None:
+        """Route this thread's subsequent charges into ``ledger``."""
+        self._local.ledger = ledger
+
+    def deactivate(self) -> None:
+        """Restore direct charging to the base cluster for this thread."""
+        self._local.ledger = None
+
+    def _target(self) -> SimulatedCluster:
+        return getattr(self._local, "ledger", None) or self._base
+
+    # SimulatedCluster interface consumed by spout/bolts ----------------
+    @property
+    def num_workers(self) -> int:
+        """Number of worker servers (placement shape, never ledger-local)."""
+        return self._base.num_workers
+
+    @property
+    def master(self) -> SimulatedWorker:
+        """The master node of the active target."""
+        return self._target().master
+
+    def worker(self, worker_id: int) -> SimulatedWorker:
+        """A worker of the active target (or its master for ``MASTER_ID``)."""
+        return self._target().worker(worker_id)
+
+    def send(self, sender_id: int, recipient_id: int, units: int) -> None:
+        """Account a message on the active target."""
+        self._target().send(sender_id, recipient_id, units)

@@ -1,0 +1,152 @@
+"""Worker-process resident state for the distributed layer.
+
+When :class:`~repro.distributed.topology.StormTopology` runs on the
+``process`` execution backend, each executor worker holds a
+:class:`TopologyReplica`: a full copy of the logical topology — graph,
+DTLP index (with its CSR snapshot caches), subgraph/query bolts and a
+private cost cluster — built **once** from a pickled
+:class:`TopologyBundle` when the group is spawned.  Afterwards only two
+kinds of envelope ever cross the process boundary:
+
+* **weight-update deltas** (:meth:`TopologyReplica.sync`) — the master
+  ships ``graph.edges_changed_since(last_synced_version)`` before each
+  batch, and the replica applies the coalesced batch to its graph and
+  index.  Per-subgraph maintenance recomputes bounding-path distances from
+  the *current* weights (Algorithm 2), so a replica that catches up on a
+  coalesced delta reaches exactly the state the master reached through the
+  individual rounds.
+* **query envelopes** (:meth:`TopologyReplica.run_queries`) — ``(seq,
+  route_index, query)`` triples.  The replica routes each query through
+  its own spout using the shipped ``route_index``, so bolt selection —
+  and therefore message/unit accounting — matches the serial reference
+  bit for bit.  The chunk's charges are merged into one ledger cluster
+  returned with the tagged results and absorbed by the master (charges
+  are additive, so the merge is exact).
+
+The module-level :func:`build_topology_replica` is the picklable factory
+handed to :meth:`repro.exec.base.Executor.spawn_group`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.dtlp import DTLP
+from ..graph.graph import WeightUpdate
+from ..workloads.queries import KSPQuery
+from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
+from .cluster import ClusterAccountant, SimulatedCluster
+
+__all__ = [
+    "TopologyBundle",
+    "TopologyReplica",
+    "QueryEnvelope",
+    "build_topology_replica",
+]
+
+#: One routed query shipped to a replica: ``(seq, route_index, query)``.
+#: ``seq`` restores submission order on the master; ``route_index`` pins
+#: the QueryBolt choice to the serial reference's round-robin.
+QueryEnvelope = Tuple[int, int, KSPQuery]
+
+
+@dataclass
+class TopologyBundle:
+    """Everything a worker process needs to rebuild the logical topology.
+
+    The bolt lists are shipped as ordered specs (not live bolt objects) so
+    the replica constructs its components in exactly the master's order —
+    SubgraphBolt fan-out order determines communication accounting — while
+    leaving master-side wiring (accountants, locks, executor handles)
+    behind.
+    """
+
+    dtlp: DTLP
+    kernel: str
+    num_workers: int
+    #: Ordered ``(name, worker_id, subgraph_ids)`` specs.
+    subgraph_bolts: List[Tuple[str, int, Tuple[int, ...]]]
+    #: Ordered ``(name, worker_id)`` specs.
+    query_bolts: List[Tuple[str, int]]
+    #: Master graph version at bundle time (sync baseline, informational —
+    #: the master tracks the authoritative baseline itself).
+    graph_version: int
+
+
+class TopologyReplica:
+    """Resident copy of the topology inside one executor worker process."""
+
+    def __init__(self, bundle: TopologyBundle) -> None:
+        self._dtlp = bundle.dtlp
+        self._graph = bundle.dtlp.graph
+        self._cluster = SimulatedCluster(bundle.num_workers)
+        self._account = ClusterAccountant(self._cluster)
+        self._subgraph_bolts = [
+            SubgraphBolt(
+                name=name,
+                worker_id=worker_id,
+                cluster=self._account,
+                dtlp=self._dtlp,
+                subgraph_ids=subgraph_ids,
+                kernel=bundle.kernel,
+            )
+            for name, worker_id, subgraph_ids in bundle.subgraph_bolts
+        ]
+        self._query_bolts = [
+            QueryBolt(
+                name=name,
+                worker_id=worker_id,
+                cluster=self._account,
+                dtlp=self._dtlp,
+                subgraph_bolts=self._subgraph_bolts,
+                kernel=bundle.kernel,
+            )
+            for name, worker_id in bundle.query_bolts
+        ]
+        self._spout = EntranceSpout(
+            cluster=self._account,
+            dtlp=self._dtlp,
+            subgraph_bolts=self._subgraph_bolts,
+            query_bolts=self._query_bolts,
+        )
+
+    def sync(self, updates: Sequence[WeightUpdate]) -> int:
+        """Apply a coalesced weight-update delta to graph and index.
+
+        The replica graph arrives with an empty listener list (see
+        :meth:`repro.graph.graph.DynamicGraph.__getstate__`), so the index
+        refresh is invoked explicitly — exactly once — after the weights
+        land.  Returns the replica's new graph version.
+        """
+        updates = list(updates)
+        if updates:
+            self._graph.apply_updates(updates)
+            self._dtlp.handle_updates(updates)
+        return self._graph.version
+
+    def run_queries(
+        self, envelopes: Sequence[QueryEnvelope]
+    ) -> Tuple[List[Tuple[int, QueryBoltResult]], SimulatedCluster]:
+        """Process query envelopes against one chunk-level cost ledger.
+
+        Charges are additive, so pre-merging the chunk into a single
+        ledger (instead of shipping one per query) keeps the reply payload
+        independent of batch size without changing the absorbed totals.
+        """
+        ledger = SimulatedCluster(self._cluster.num_workers)
+        self._account.activate(ledger)
+        out: List[Tuple[int, QueryBoltResult]] = []
+        try:
+            for seq, route_index, query in envelopes:
+                out.append(
+                    (seq, self._spout.submit_query(query, route_index=route_index))
+                )
+        finally:
+            self._account.deactivate()
+        return out, ledger
+
+
+def build_topology_replica(bundle: TopologyBundle) -> TopologyReplica:
+    """Picklable factory used with :meth:`repro.exec.base.Executor.spawn_group`."""
+    return TopologyReplica(bundle)

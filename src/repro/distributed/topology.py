@@ -6,20 +6,38 @@ the subgraphs and their first-level DTLP indexes), and one QueryBolt per
 worker (each holding a replica of the skeleton graph).  The topology exposes
 the two external operations of the system — submitting weight updates and
 submitting KSP queries — plus the cost metrics the benchmarks read.
+
+The topology separates two layers (``ARCHITECTURE.md``, "Placement vs.
+Executor"):
+
+* the **logical placement** (:class:`~repro.distributed.placement.Placement`)
+  — subgraph→worker assignment, deterministic query routing and cost
+  attribution, which define the paper's figures and are identical on every
+  backend;
+* the **physical executor** (:mod:`repro.exec`) — which OS resource runs
+  each query.  ``executor="serial"`` is the reference; ``"thread"`` fans a
+  batch over a thread pool against the shared index (each query charging a
+  private cost ledger); ``"process"`` fans it over persistent worker
+  processes holding resident :class:`~repro.distributed.runtime.TopologyReplica`
+  state, shipping only weight-update deltas and query envelopes between
+  rounds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.dtlp import DTLP
 from ..core.ksp_dg import validate_kernel
+from ..exec import Executor, ReplicaSet, resolve_executor
 from ..graph.errors import ClusterError
 from ..graph.graph import WeightUpdate
 from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
-from .cluster import SimulatedCluster
+from .cluster import ClusterAccountant, SimulatedCluster
+from .placement import Placement
+from .runtime import QueryEnvelope, TopologyBundle, build_topology_replica
 
 __all__ = ["TopologyReport", "StormTopology"]
 
@@ -69,6 +87,20 @@ class StormTopology:
         How many QueryBolts to place on each worker; the paper deploys "one
         or more", and one is sufficient for the simulation because a single
         QueryBolt object can process any number of queries.
+    executor:
+        Physical execution backend for query batches: a backend name
+        (``"serial"``, ``"thread"``, ``"process"``), a pre-built
+        :class:`~repro.exec.base.Executor` to share, or ``None`` for the
+        environment default (``$REPRO_EXECUTOR``, falling back to
+        ``serial``).  The logical placement
+        and cost attribution are identical on every backend; only the OS
+        resources running the work differ.  Topologies built with the
+        ``process`` backend should be :meth:`close`\\ d (or used as a
+        context manager) to reap the worker processes.
+    executor_workers:
+        Degree of physical parallelism when ``executor`` is a name;
+        defaults to ``num_workers`` so the physical pool mirrors the
+        logical cluster.
 
     Examples
     --------
@@ -91,6 +123,8 @@ class StormTopology:
         num_workers: int = 4,
         query_bolts_per_worker: int = 1,
         kernel: str = "snapshot",
+        executor: Union[str, Executor, None] = None,
+        executor_workers: Optional[int] = None,
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
@@ -99,28 +133,33 @@ class StormTopology:
         self._dtlp = dtlp
         self._kernel = validate_kernel(kernel)
         self._cluster = SimulatedCluster(num_workers)
-        partition = dtlp.partition
+        # All bolt/spout charges route through the accountant so that the
+        # concurrent backends can divert each query into a private ledger;
+        # with no ledger active it charges the shared cluster directly.
+        self._account = ClusterAccountant(self._cluster)
+        self._executor, self._owns_executor = resolve_executor(
+            executor, workers=executor_workers or num_workers
+        )
+        # Global query submission counter driving deterministic round-robin
+        # QueryBolt routing (identical on every backend and in replicas).
+        self._route_counter = 0
+        # Process-backend replicas, spawned lazily on first batch and kept
+        # current via weight-update deltas between batches.
+        self._replica_set = ReplicaSet(
+            self._executor, build_topology_replica, dtlp.graph
+        )
 
-        # Balanced placement of subgraphs onto workers by vertex count.
-        loads = {
-            subgraph.subgraph_id: float(subgraph.num_vertices)
-            for subgraph in partition.subgraphs
-        }
-        assignment = self._cluster.assign_balanced(loads)
-        subgraphs_by_worker: Dict[int, List[int]] = {
-            worker_id: [] for worker_id in range(num_workers)
-        }
-        for subgraph_id, worker_id in assignment.items():
-            subgraphs_by_worker[worker_id].append(subgraph_id)
+        # Balanced logical placement of subgraphs onto workers by vertex count.
+        self._placement = Placement.balanced(dtlp.partition, num_workers)
 
         self._subgraph_bolts: List[SubgraphBolt] = []
-        for worker_id, subgraph_ids in subgraphs_by_worker.items():
+        for worker_id in range(num_workers):
             bolt = SubgraphBolt(
                 name=f"subgraph-bolt-{worker_id}",
                 worker_id=worker_id,
-                cluster=self._cluster,
+                cluster=self._account,
                 dtlp=dtlp,
-                subgraph_ids=subgraph_ids,
+                subgraph_ids=self._placement.subgraphs_on(worker_id),
                 kernel=self._kernel,
             )
             self._subgraph_bolts.append(bolt)
@@ -131,7 +170,7 @@ class StormTopology:
                 bolt = QueryBolt(
                     name=f"query-bolt-{worker_id}-{replica}",
                     worker_id=worker_id,
-                    cluster=self._cluster,
+                    cluster=self._account,
                     dtlp=dtlp,
                     subgraph_bolts=self._subgraph_bolts,
                     kernel=self._kernel,
@@ -139,7 +178,7 @@ class StormTopology:
                 self._query_bolts.append(bolt)
 
         self._spout = EntranceSpout(
-            cluster=self._cluster,
+            cluster=self._account,
             dtlp=dtlp,
             subgraph_bolts=self._subgraph_bolts,
             query_bolts=self._query_bolts,
@@ -162,6 +201,16 @@ class StormTopology:
     def kernel(self) -> str:
         """Compute kernel used by the bolts (``"snapshot"`` or ``"dict"``)."""
         return self._kernel
+
+    @property
+    def placement(self) -> Placement:
+        """The logical subgraph→worker placement."""
+        return self._placement
+
+    @property
+    def executor(self) -> Executor:
+        """The physical execution backend running query batches."""
+        return self._executor
 
     @property
     def subgraph_bolts(self) -> Sequence[SubgraphBolt]:
@@ -223,7 +272,7 @@ class StormTopology:
                 QueryBolt(
                     name=f"query-bolt-{survivor}-recovered",
                     worker_id=survivor,
-                    cluster=self._cluster,
+                    cluster=self._account,
                     dtlp=self._dtlp,
                     subgraph_bolts=self._subgraph_bolts,
                     kernel=self._kernel,
@@ -231,15 +280,31 @@ class StormTopology:
             ]
         # Rewire the spout with the surviving components.
         self._spout = EntranceSpout(
-            cluster=self._cluster,
+            cluster=self._account,
             dtlp=self._dtlp,
             subgraph_bolts=self._subgraph_bolts,
             query_bolts=self._query_bolts,
         )
+        # The logical placement changed: refresh it from the live bolts and
+        # discard any process-backend replicas (they are respawned from the
+        # post-failure assignment on the next batch).
+        self._placement = Placement(
+            self._cluster.num_workers,
+            {
+                subgraph_id: bolt.worker_id
+                for bolt in self._subgraph_bolts
+                for subgraph_id in bolt.subgraph_ids
+            },
+        )
+        self._replica_set.discard()
         return migrated
 
     def run_queries(self, queries: Sequence[KSPQuery], reset_metrics: bool = True) -> TopologyReport:
         """Process a batch of queries and return the aggregate report.
+
+        The batch runs on the topology's execution backend; paths,
+        distances and the deterministic cost counters (messages, transfer
+        units, task counts) are identical on every backend.
 
         Parameters
         ----------
@@ -251,10 +316,125 @@ class StormTopology:
         """
         if reset_metrics:
             self._cluster.reset_time()
-        results = [self._spout.submit_query(query) for query in queries]
+        queries = list(queries)
+        backend = self._executor.name
+        if backend == "process" and queries:
+            results = self._run_on_replicas(queries)
+        elif backend == "thread" and len(queries) > 1:
+            results = self._run_threaded(queries)
+        else:
+            base = self._route_counter
+            results = [
+                self._spout.submit_query(query, route_index=base + offset)
+                for offset, query in enumerate(queries)
+            ]
+        self._route_counter += len(queries)
         report = TopologyReport(results=results)
         report.makespan_seconds = self._cluster.makespan_seconds()
         report.total_compute_seconds = self._cluster.total_compute_seconds()
         report.communication_units = self._cluster.total_communication_units()
         report.load_balance = self._cluster.load_balance_report()
         return report
+
+    # ------------------------------------------------------------------
+    # concurrent execution backends
+    # ------------------------------------------------------------------
+    def _sync_kernel_caches(self) -> None:
+        """Bring every shared kernel snapshot current, serially.
+
+        Run before fanning a batch over threads so that all snapshot
+        accesses inside the batch are read-only (refreshes would otherwise
+        race between tasks); see ``ARCHITECTURE.md``.
+        """
+        for bolt in self._subgraph_bolts:
+            bolt.sync_kernel_caches()
+        for query_bolt in self._query_bolts:
+            query_bolt.sync_kernel_caches()
+
+    def _run_threaded(self, queries: Sequence[KSPQuery]) -> List[QueryBoltResult]:
+        """Fan a batch over the thread pool against the shared topology."""
+        self._sync_kernel_caches()
+        base = self._route_counter
+        num_workers = self._cluster.num_workers
+
+        def task(item: Tuple[int, KSPQuery]) -> Tuple[QueryBoltResult, SimulatedCluster]:
+            offset, query = item
+            ledger = SimulatedCluster(num_workers)
+            self._account.activate(ledger)
+            try:
+                return (
+                    self._spout.submit_query(query, route_index=base + offset),
+                    ledger,
+                )
+            finally:
+                self._account.deactivate()
+
+        results: List[QueryBoltResult] = []
+        for result, ledger in self._executor.map(task, list(enumerate(queries))):
+            self._cluster.absorb(ledger)
+            results.append(result)
+        return results
+
+    def _make_bundle(self) -> TopologyBundle:
+        """Capture the live topology state for replica construction."""
+        return TopologyBundle(
+            dtlp=self._dtlp,
+            kernel=self._kernel,
+            num_workers=self._cluster.num_workers,
+            subgraph_bolts=[
+                (bolt.name, bolt.worker_id, tuple(sorted(bolt.subgraph_ids)))
+                for bolt in self._subgraph_bolts
+            ],
+            query_bolts=[
+                (bolt.name, bolt.worker_id) for bolt in self._query_bolts
+            ],
+            graph_version=self._dtlp.graph.version,
+        )
+
+    def _run_on_replicas(self, queries: Sequence[KSPQuery]) -> List[QueryBoltResult]:
+        """Shard a batch across the resident worker-process replicas.
+
+        The :class:`~repro.exec.replicas.ReplicaSet` spawns the group on
+        first use and ships the coalesced weight-update delta before every
+        batch, so any number of maintenance rounds between two batches
+        costs one broadcast.
+        """
+        group = self._replica_set.ensure(self._make_bundle)
+        base = self._route_counter
+        shards: Dict[int, List[QueryEnvelope]] = {}
+        for offset, query in enumerate(queries):
+            shards.setdefault(offset % group.num_slots, []).append(
+                (offset, base + offset, query)
+            )
+        replies = group.call_each(
+            [(slot, "run_queries", (envelopes,)) for slot, envelopes in shards.items()]
+        )
+        tagged: List[Tuple[int, QueryBoltResult]] = []
+        for chunk, ledger in replies:
+            # One ledger per reply: absorption is purely additive, so the
+            # replica pre-merges its chunk's charges instead of shipping a
+            # ledger per query.
+            self._cluster.absorb(ledger)
+            tagged.extend(chunk)
+        tagged.sort(key=lambda item: item[0])
+        return [result for _, result in tagged]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (idempotent).
+
+        Closes the replica group and, when the topology created its own
+        executor from a backend name, the executor itself.  A shared
+        executor passed in by the caller is left running.
+        """
+        self._replica_set.discard()
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "StormTopology":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

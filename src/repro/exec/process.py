@@ -1,0 +1,333 @@
+"""Multi-process execution backend with persistent, state-holding workers.
+
+:class:`ProcessExecutor` spawns ``workers`` long-lived OS processes, each
+running :func:`_worker_main`: a loop that receives small message envelopes
+over a pipe, dispatches them against *resident state*, and replies.  The
+design mirrors the paper's Storm deployment, where each server keeps its
+subgraphs and first-level DTLP indexes in memory across the whole run:
+
+* :meth:`ProcessExecutor.spawn_group` ships a ``(factory, payload)`` pair
+  to the owning worker **once**; the factory builds the resident state
+  (e.g. a full topology replica with its CSR snapshots) inside the worker.
+* Subsequent :meth:`~repro.exec.base.WorkerGroup.call_each` /
+  :meth:`~repro.exec.base.WorkerGroup.broadcast` calls move only method
+  names, small argument tuples (weight-update deltas, query envelopes) and
+  results across the pipe.
+
+Workers are started lazily on first use, marked daemonic (they can never
+outlive the parent), and prefer the ``fork`` start method where available
+so resident-state construction can share copy-on-write pages with the
+parent.  Worker-side exceptions are transported as text and re-raised as
+:class:`~repro.graph.errors.ExecutorTaskError` — see ``ARCHITECTURE.md``
+("Execution backends") for the pickling contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from multiprocessing.reduction import ForkingPickler
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graph.errors import ExecutorError, ExecutorTaskError
+from .base import Executor, GroupCall, WorkerGroup, capture_exception
+
+__all__ = ["ProcessExecutor"]
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context: ``fork`` when the platform has it."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: build resident states, dispatch calls, reply.
+
+    Message protocol (parent → worker):
+
+    * ``("init", group_id, slot, factory, payload)`` — build a resident
+      state; reply ``("ok", None)`` or ``("exc", info)``.
+    * ``("calls", group_id, [(seq, slot, method, args), ...])`` — invoke a
+      batch of methods on resident states; reply
+      ``("results", [(seq, status, value), ...])``.
+    * ``("map", fn, [(seq, item), ...])`` — stateless map chunk; reply
+      ``("results", [(seq, status, value), ...])``.
+    * ``("drop", group_id)`` — discard a group's states; reply ``("ok", None)``.
+    * ``("stop",)`` — exit the loop.
+    """
+    states: Dict[Tuple[int, int], Any] = {}
+
+    def send_results(results: List[Tuple[int, str, Any]]) -> None:
+        # Connection.send pickles the whole payload before writing any
+        # bytes, so an unpicklable task result raises here with the pipe
+        # still intact — report it as a task error instead of letting the
+        # worker die (which would brick the executor for all later calls).
+        try:
+            conn.send(("results", results))
+        except Exception as exc:  # noqa: BLE001 - unpicklable result value
+            info = capture_exception(exc)
+            conn.send(("results", [(seq, "exc", info) for seq, _, _ in results]))
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):  # parent went away
+            return
+        tag = message[0]
+        if tag == "stop":
+            return
+        if tag == "init":
+            _, group_id, slot, factory, payload = message
+            try:
+                states[(group_id, slot)] = factory(payload)
+                conn.send(("ok", None))
+            except BaseException as exc:  # noqa: BLE001 - transported to parent
+                conn.send(("exc", capture_exception(exc)))
+        elif tag == "calls":
+            _, group_id, calls = message
+            results: List[Tuple[int, str, Any]] = []
+            for seq, slot, method, args in calls:
+                try:
+                    state = states[(group_id, slot)]
+                    results.append((seq, "ok", getattr(state, method)(*args)))
+                except BaseException as exc:  # noqa: BLE001
+                    results.append((seq, "exc", capture_exception(exc)))
+            send_results(results)
+        elif tag == "map":
+            _, fn, chunk = message
+            results = []
+            for seq, item in chunk:
+                try:
+                    results.append((seq, "ok", fn(item)))
+                except BaseException as exc:  # noqa: BLE001
+                    results.append((seq, "exc", capture_exception(exc)))
+            send_results(results)
+        elif tag == "drop":
+            _, group_id = message
+            for key in [key for key in states if key[0] == group_id]:
+                del states[key]
+            conn.send(("ok", None))
+        else:  # pragma: no cover - protocol error
+            conn.send(("exc", ("ExecutorError", f"unknown message {tag!r}", "")))
+
+
+class _ProcessGroup(WorkerGroup):
+    """Handle to resident states living inside the executor's processes."""
+
+    def __init__(self, executor: "ProcessExecutor", group_id: int, num_slots: int) -> None:
+        self._executor = executor
+        self._group_id = group_id
+        self._num_slots = num_slots
+        self._closed = False
+
+    @property
+    def num_slots(self) -> int:
+        return self._num_slots
+
+    def _check(self, slot: int) -> None:
+        if self._closed:
+            raise ExecutorError("worker group is closed")
+        if not 0 <= slot < self._num_slots:
+            raise ExecutorError(f"no slot {slot} in group of {self._num_slots}")
+
+    def call(self, slot: int, method: str, *args: Any) -> Any:
+        return self.call_each([(slot, method, args)])[0]
+
+    def call_each(self, calls: Sequence[GroupCall]) -> List[Any]:
+        for slot, _, _ in calls:
+            self._check(slot)
+        return self._executor._dispatch_calls(self._group_id, calls)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor._drop_group(self._group_id)
+
+
+class ProcessExecutor(Executor):
+    """Persistent worker-process backend (the multi-core fast path)."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._context = _preferred_context()
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._pipes: List[Any] = []
+        self._group_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the worker processes have been spawned yet."""
+        return bool(self._processes)
+
+    def _ensure_workers(self) -> None:
+        self._check_open()
+        if self._processes:
+            return
+        for _ in range(self._workers):
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+
+    def _owner(self, slot: int) -> int:
+        """Worker-process index owning a group slot (slots are pinned)."""
+        return slot % self._workers
+
+    def _recv(self, worker: int) -> Any:
+        try:
+            return self._pipes[worker].recv()
+        except (EOFError, OSError) as exc:
+            raise ExecutorError(
+                f"worker process {worker} died (pid "
+                f"{self._processes[worker].pid}, exitcode "
+                f"{self._processes[worker].exitcode})"
+            ) from exc
+
+    @staticmethod
+    def _raise_task_error(info: Tuple[str, str, str]) -> None:
+        remote_type, message, remote_traceback = info
+        raise ExecutorTaskError(remote_type, message, remote_traceback)
+
+    @staticmethod
+    def _encode(message: Any) -> bytes:
+        """Pickle one outgoing message up front (all-or-nothing sends).
+
+        ``Connection.send`` pickles too, but a failure halfway through a
+        multi-worker send loop would leave some workers with work (and
+        queued replies) and others without, desynchronising the protocol.
+        Encoding every message *before* the first byte is written turns an
+        unpicklable payload into a clean :class:`ExecutorTaskError` with
+        the executor fully intact.
+        """
+        try:
+            return bytes(ForkingPickler.dumps(message))
+        except Exception as exc:  # noqa: BLE001 - caller-supplied payload
+            remote_type, text, formatted = capture_exception(exc)
+            raise ExecutorTaskError(
+                remote_type, f"cannot pickle message for worker: {text}", formatted
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # stateless map
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        self._ensure_workers()
+        chunks: Dict[int, List[Tuple[int, Any]]] = {}
+        for index, item in enumerate(items):
+            chunks.setdefault(index % self._workers, []).append((index, item))
+        encoded = {
+            worker: self._encode(("map", fn, chunk))
+            for worker, chunk in chunks.items()
+        }
+        for worker, data in encoded.items():
+            self._pipes[worker].send_bytes(data)
+        return self._collect(chunks, len(items))
+
+    # ------------------------------------------------------------------
+    # stateful groups
+    # ------------------------------------------------------------------
+    def spawn_group(
+        self, factory: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> WorkerGroup:
+        payloads = list(payloads)
+        if not payloads:
+            raise ExecutorError("a worker group needs at least one payload")
+        self._ensure_workers()
+        group_id = next(self._group_ids)
+        # Ship every init first, then collect replies: worker processes
+        # build their resident states concurrently.  Every reply must be
+        # drained even when one init fails — raising mid-collection would
+        # leave unread replies in the pipes and desynchronise the protocol
+        # for all later traffic on this executor.
+        encoded = [
+            self._encode(("init", group_id, slot, factory, payload))
+            for slot, payload in enumerate(payloads)
+        ]
+        for slot, data in enumerate(encoded):
+            self._pipes[self._owner(slot)].send_bytes(data)
+        failure: Optional[Tuple[int, Tuple[str, str, str]]] = None
+        for slot in range(len(payloads)):
+            status, value = self._recv(self._owner(slot))
+            if status == "exc" and (failure is None or slot < failure[0]):
+                failure = (slot, value)
+        if failure is not None:
+            # Discard the states that did build before reporting the error.
+            self._drop_group(group_id)
+            self._raise_task_error(failure[1])
+        return _ProcessGroup(self, group_id, len(payloads))
+
+    def _dispatch_calls(self, group_id: int, calls: Sequence[GroupCall]) -> List[Any]:
+        self._check_open()
+        batches: Dict[int, List[Tuple[int, int, str, Tuple[Any, ...]]]] = {}
+        for seq, (slot, method, args) in enumerate(calls):
+            batches.setdefault(self._owner(slot), []).append((seq, slot, method, args))
+        encoded = {
+            worker: self._encode(("calls", group_id, batch))
+            for worker, batch in batches.items()
+        }
+        for worker, data in encoded.items():
+            self._pipes[worker].send_bytes(data)
+        return self._collect(batches, len(calls))
+
+    def _collect(self, batches: Dict[int, Sequence[Any]], total: int) -> List[Any]:
+        """Gather per-worker replies, re-raising the lowest-index failure."""
+        results: List[Any] = [None] * total
+        failure: Optional[Tuple[int, Tuple[str, str, str]]] = None
+        for worker in batches:
+            tag, payload = self._recv(worker)
+            if tag != "results":  # pragma: no cover - protocol error
+                raise ExecutorError(f"unexpected reply {tag!r} from worker {worker}")
+            for seq, status, value in payload:
+                if status == "ok":
+                    results[seq] = value
+                elif failure is None or seq < failure[0]:
+                    failure = (seq, value)
+        if failure is not None:
+            self._raise_task_error(failure[1])
+        return results
+
+    def _drop_group(self, group_id: int) -> None:
+        if self._closed or not self._processes:
+            return
+        for pipe in self._pipes:
+            pipe.send(("drop", group_id))
+        for worker in range(len(self._pipes)):
+            self._recv(worker)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for pipe in self._pipes:
+            pipe.close()
+        self._processes = []
+        self._pipes = []
+        super().close()

@@ -1,0 +1,106 @@
+"""Graph-synchronised resident replica groups.
+
+Both consumers of the process backend — the distributed topology and the
+centralized baseline engines — follow the same stateful protocol:
+
+1. spawn one resident replica per executor worker, **once**, from a bundle
+   built at spawn time;
+2. before every round, ship the coalesced weight-update delta
+   (``graph.edges_changed_since(last_synced_version)``) so replicas catch
+   up on any number of maintenance rounds with one broadcast;
+3. fan tagged work envelopes out across the slots.
+
+:class:`ReplicaSet` owns steps 1-2 — the subtle, version-tracking part
+that must not diverge between call sites.  Replica state objects must
+expose ``sync(updates)``; the graph must expose ``version`` and
+``edges_changed_since`` (see :class:`repro.graph.graph.DynamicGraph`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..graph.errors import ExecutorError
+from ..graph.graph import WeightUpdate
+from .base import Executor, WorkerGroup
+
+__all__ = ["ReplicaSet"]
+
+
+class ReplicaSet:
+    """Lazily spawned, delta-synchronised group of resident replicas.
+
+    Parameters
+    ----------
+    executor:
+        The backend hosting the replicas (one slot per executor worker).
+        Must be the ``process`` backend — in-process backends share master
+        state directly and must not be replica-synchronised (the guard in
+        :meth:`ensure` enforces this).
+    factory:
+        Module-level picklable factory handed to
+        :meth:`~repro.exec.base.Executor.spawn_group`.
+    graph:
+        The authoritative graph whose change feed drives replica sync.
+    """
+
+    def __init__(self, executor: Executor, factory: Callable[[Any], Any], graph) -> None:
+        self._executor = executor
+        self._factory = factory
+        self._graph = graph
+        self._group: Optional[WorkerGroup] = None
+        self._synced_version = 0
+
+    def _check_backend(self) -> None:
+        # Replication only makes sense across process boundaries: an
+        # in-process backend would alias one bundle across every slot, so
+        # each "replica" would mutate the shared live objects and a sync
+        # broadcast would re-apply the same delta once per slot.  Serial
+        # and thread backends share master state directly instead.
+        if self._executor.name != "process":
+            raise ExecutorError(
+                "ReplicaSet requires the process backend; the "
+                f"{self._executor.name!r} backend shares in-process state "
+                "and must not be replica-synchronised"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the replica group is currently spawned."""
+        return self._group is not None
+
+    def ensure(self, bundle_factory: Callable[[], Any]) -> WorkerGroup:
+        """Return the synced group, spawning it from a fresh bundle if needed.
+
+        ``bundle_factory`` is invoked only on (re)spawn, so callers can
+        capture live state (e.g. post-failover bolt assignments) at exactly
+        the moment it ships.  After spawn — or on every later call — the
+        replicas are brought current with one broadcast of the coalesced
+        weight-update delta since the last sync.
+        """
+        if self._group is None:
+            self._check_backend()
+            self._synced_version = self._graph.version
+            bundle = bundle_factory()
+            self._group = self._executor.spawn_group(
+                self._factory, [bundle] * self._executor.workers
+            )
+        current = self._graph.version
+        if current != self._synced_version:
+            deltas = [
+                WeightUpdate(u, v, weight)
+                for u, v, weight in self._graph.edges_changed_since(
+                    self._synced_version
+                )
+            ]
+            self._group.broadcast("sync", deltas)
+            self._synced_version = current
+        return self._group
+
+    def discard(self) -> None:
+        """Drop the group; the next :meth:`ensure` respawns from fresh state."""
+        if self._group is not None:
+            self._group.close()
+            self._group = None
+
+    close = discard

@@ -62,3 +62,27 @@ class IndexStateError(ReproError):
 
 class ClusterError(ReproError):
     """Raised by the simulated distributed runtime for configuration errors."""
+
+
+class ExecutorError(ReproError):
+    """Raised by :mod:`repro.exec` for backend configuration/lifecycle errors."""
+
+
+class ExecutorTaskError(ExecutorError):
+    """A task shipped to an execution backend raised an exception.
+
+    Worker-side exceptions cannot always be pickled back faithfully, so the
+    remote failure is transported as text and re-raised under this type.
+
+    Attributes
+    ----------
+    remote_type:
+        Qualified name of the exception type raised in the worker.
+    remote_traceback:
+        Formatted traceback text captured in the worker.
+    """
+
+    def __init__(self, remote_type: str, message: str, remote_traceback: str = "") -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback

@@ -405,6 +405,25 @@ class DynamicGraph:
             listener(applied)
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the graph without its listeners.
+
+        Listeners are arbitrary callables (often bound methods of services
+        holding sockets or thread pools) and are observer wiring, not graph
+        state.  A graph shipped to an executor worker process arrives with
+        an empty listener list; the worker re-wires whatever maintenance it
+        needs explicitly (see :mod:`repro.distributed.runtime`).
+        """
+        state = dict(self.__dict__)
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # snapshots and copies
     # ------------------------------------------------------------------
     def snapshot(self) -> "DynamicGraph":

@@ -267,6 +267,10 @@ class SortedUnitWeights:
         self._edge_units[key] = (new_unit, count)
         self._prefix_dirty = True
 
+    def rebind(self, subgraph: Subgraph) -> None:
+        """Re-point at an equivalent subgraph (see ``SubgraphIndex.rebind``)."""
+        self._subgraph = subgraph
+
     def smallest_sum(self, num_vfrags: int) -> float:
         """Sum of the smallest ``num_vfrags`` unit weights."""
         if num_vfrags <= 0:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.dtlp import DTLP
 from ..dynamics.traffic import TrafficModel
@@ -40,7 +40,7 @@ from ..graph.errors import EdgeNotFoundError
 from ..graph.graph import DynamicGraph, WeightUpdate
 from ..graph.paths import Path
 from ..workloads.queries import KSPQuery
-from ..workloads.runner import QueryEngine
+from ..workloads.runner import QueryEngine, QueryOutcome
 from .cache import CacheEntry, ResultCache
 from .errors import ServiceClosedError
 from .pipeline import PendingRequest, RequestPipeline
@@ -73,6 +73,11 @@ class KSPService:
         Any :class:`~repro.workloads.runner.QueryEngine`.  The engine must
         answer against the live graph/index objects so that maintenance is
         visible to subsequent queries.
+    owns_engine:
+        When ``True``, :meth:`close` also calls the engine's ``close()``
+        (if it has one), releasing executor resources such as worker
+        processes (see :mod:`repro.exec`).  Pass it when the service is
+        the engine's only user; leave the default for shared engines.
     dtlp:
         Optional DTLP index to keep current; it is attached as a graph
         listener (idempotently) so maintenance rounds refresh it.
@@ -94,6 +99,7 @@ class KSPService:
         graph: DynamicGraph,
         engine: QueryEngine,
         *,
+        owns_engine: bool = False,
         dtlp: Optional[DTLP] = None,
         traffic: Optional[TrafficModel] = None,
         cache: Optional[ResultCache] = None,
@@ -106,6 +112,7 @@ class KSPService:
     ) -> None:
         self._graph = graph
         self._engine = engine
+        self._owns_engine = owns_engine
         self._dtlp = dtlp
         # Remember whether this service performed the attach so close()
         # detaches exactly what __init__ registered and no more.  An index
@@ -203,12 +210,75 @@ class KSPService:
         duplicates of a key are fanned the same answer.  All answers in the
         batch are computed against the same graph version — maintenance
         only runs between batches.
+
+        Cache hits are resolved inline; the remaining misses are handed to
+        the engine as one compute batch, so an engine built on a concurrent
+        execution backend (see :mod:`repro.exec`) fans them out physically
+        while the admission queue keeps accepting new submissions — the
+        pipeline is never locked around the compute.
         """
-        served: List[ServedQuery] = []
         version = self._graph.version
-        for pending in self._pipeline.next_batch():
-            served.extend(self._answer(pending, version))
-        return served
+        batch = self._pipeline.next_batch()
+        # Hits are fanned out immediately — their latency must reflect
+        # queue time, not the compute time of the batch's misses — while a
+        # None placeholder holds each miss's slot so the final assembly
+        # preserves FIFO admission order.
+        answered: List[Optional[List[ServedQuery]]] = []
+        misses: List[Tuple[int, PendingRequest]] = []
+        for position, pending in enumerate(batch):
+            entry = self._cache.get(pending.key) if self._cache is not None else None
+            if entry is not None and self._cache_is_external and not self._is_fresh(entry):
+                self._cache.stats.reclassify_stale_hit()
+                entry = None
+            if entry is not None:
+                answered.append(
+                    self._fan_out(pending, entry.paths, from_cache=True, version=version)
+                )
+            else:
+                answered.append(None)
+                misses.append((position, pending))
+        if misses:
+            outcomes = self._answer_misses([pending for _, pending in misses])
+            self._telemetry.unique_computations += len(misses)
+            for (position, pending), outcome in zip(misses, outcomes):
+                if self._cache is not None:
+                    self._cache.put(pending.key, outcome.paths, version)
+                answered[position] = self._fan_out(
+                    pending, outcome.paths, from_cache=False, version=version
+                )
+        return [served for slot in answered for served in (slot or [])]
+
+    def _answer_misses(self, misses: Sequence[PendingRequest]) -> List[QueryOutcome]:
+        """Compute the batch's distinct cache misses through the engine."""
+        queries = [pending.queries[0] for pending in misses]
+        answer_many = getattr(self._engine, "answer_many", None)
+        if answer_many is not None:
+            return list(answer_many(queries))
+        return [self._engine.answer(query) for query in queries]
+
+    def _fan_out(
+        self,
+        pending: PendingRequest,
+        paths: List[Path],
+        from_cache: bool,
+        version: int,
+    ) -> List[ServedQuery]:
+        """Hand one answered slot back to every coalesced waiter."""
+        finished = time.perf_counter()
+        latency = max(0.0, finished - pending.enqueued_at)
+        results = []
+        for query in pending.queries:
+            self._telemetry.record_served(latency)
+            results.append(
+                ServedQuery(
+                    query=query,
+                    paths=list(paths),
+                    from_cache=from_cache,
+                    latency_seconds=latency,
+                    graph_version=version,
+                )
+            )
+        return results
 
     def _is_fresh(self, entry: CacheEntry) -> bool:
         """Re-check a hit against per-edge versions (belt and braces).
@@ -231,38 +301,6 @@ class KSPService:
             # A cached path references an edge this graph doesn't have
             # (cache populated against a different graph): stale.
             return False
-
-    def _answer(self, pending: PendingRequest, version: int) -> List[ServedQuery]:
-        from_cache = False
-        paths: List[Path]
-        entry = self._cache.get(pending.key) if self._cache is not None else None
-        if entry is not None and self._cache_is_external and not self._is_fresh(entry):
-            self._cache.stats.reclassify_stale_hit()
-            entry = None
-        if entry is not None:
-            paths = entry.paths
-            from_cache = True
-        else:
-            outcome = self._engine.answer(pending.queries[0])
-            paths = outcome.paths
-            self._telemetry.unique_computations += 1
-            if self._cache is not None:
-                self._cache.put(pending.key, paths, version)
-        finished = time.perf_counter()
-        latency = max(0.0, finished - pending.enqueued_at)
-        results = []
-        for query in pending.queries:
-            self._telemetry.record_served(latency)
-            results.append(
-                ServedQuery(
-                    query=query,
-                    paths=list(paths),
-                    from_cache=from_cache,
-                    latency_seconds=latency,
-                    graph_version=version,
-                )
-            )
-        return results
 
     def drain(self) -> List[ServedQuery]:
         """Answer every pending request, batch by batch."""
@@ -350,13 +388,19 @@ class KSPService:
 
         Removes the cache-invalidation listener and, when the service was
         the one that attached the DTLP index, detaches that too; an index
-        the caller had already attached is left registered.
+        the caller had already attached is left registered.  A service
+        constructed with ``owns_engine=True`` also closes its engine,
+        reaping any executor worker processes.
         """
         if self._closed:
             return
         self._graph.remove_listener(self._on_graph_updates)
         if self._dtlp is not None and self._owns_dtlp_attachment:
             self._dtlp.detach()
+        if self._owns_engine:
+            engine_close = getattr(self._engine, "close", None)
+            if engine_close is not None:
+                engine_close()
         self._closed = True
 
     def __enter__(self) -> "KSPService":

@@ -16,19 +16,28 @@ both the real wall-clock time and the *simulated parallel time* obtained by
 spreading queries over ``num_servers`` servers.  The distributed KSP-DG
 engine lives in :mod:`repro.distributed.engine` because it needs the
 simulated cluster.
+
+The paper replicates the centralized baselines on every server and spreads
+queries across them randomly; the engines model that physically too: built
+with ``executor="thread"``/``"process"`` (see :mod:`repro.exec`),
+:meth:`~_CentralizedEngine.answer_many` fans the batch's independent OD
+pairs over the backend.  Process workers hold a resident engine replica —
+graph plus kernel snapshot — and receive only weight-update deltas and
+query envelopes between batches.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Type, Union
 
 from ..algorithms.find_ksp import find_ksp
 from ..algorithms.yen import yen_k_shortest_paths
 from ..core.ksp_dg import validate_kernel
+from ..exec import Executor, ReplicaSet, resolve_executor
 from ..graph.errors import PathNotFoundError
-from ..graph.graph import DynamicGraph
+from ..graph.graph import DynamicGraph, WeightUpdate
 from ..graph.paths import Path
 from ..kernel.snapshot import CSRSnapshot
 from .queries import KSPQuery
@@ -72,6 +81,10 @@ class BatchReport:
         servers randomly" with ideal balancing.
     num_servers:
         Number of servers assumed for the parallel-time model.
+    wall_seconds:
+        Measured wall-clock time of the whole batch.  With a concurrent
+        engine executor this is the *physical* parallel time, the measured
+        counterpart of the modelled ``parallel_seconds``.
     """
 
     engine_name: str
@@ -79,6 +92,7 @@ class BatchReport:
     total_cpu_seconds: float = 0.0
     parallel_seconds: float = 0.0
     num_servers: int = 1
+    wall_seconds: float = 0.0
 
     @property
     def num_queries(self) -> int:
@@ -110,6 +124,42 @@ class QueryEngine(Protocol):
         ...
 
 
+class _EngineReplica:
+    """Resident state of one centralized engine inside an executor worker.
+
+    Built once from a pickled ``(engine class, graph, kernel)`` bundle;
+    afterwards only weight-update deltas (:meth:`sync`) and query envelopes
+    (:meth:`answer_many`) cross the process boundary, and the replica's
+    kernel snapshot refreshes incrementally off its own graph copy.
+    """
+
+    def __init__(self, bundle: Tuple[Type["_CentralizedEngine"], DynamicGraph, str]) -> None:
+        engine_cls, graph, kernel = bundle
+        self._graph = graph
+        # Pin the inner engine to serial: the replica already *is* the
+        # parallelism, and resolving $REPRO_EXECUTOR here would nest
+        # executors inside worker processes.
+        self._engine = engine_cls(graph, kernel=kernel, executor="serial")
+
+    def sync(self, updates: Sequence[WeightUpdate]) -> int:
+        """Apply a coalesced weight-update delta; returns the new version."""
+        updates = list(updates)
+        if updates:
+            self._graph.apply_updates(updates)
+        return self._graph.version
+
+    def answer_many(
+        self, envelopes: Sequence[Tuple[int, KSPQuery]]
+    ) -> List[Tuple[int, QueryOutcome]]:
+        """Answer tagged queries, preserving the tags for reordering."""
+        return [(seq, self._engine.answer(query)) for seq, query in envelopes]
+
+
+def _build_engine_replica(bundle) -> _EngineReplica:
+    """Picklable factory used with :meth:`repro.exec.base.Executor.spawn_group`."""
+    return _EngineReplica(bundle)
+
+
 class _CentralizedEngine:
     """Shared plumbing of the centralized baselines (Yen / FindKSP).
 
@@ -119,14 +169,35 @@ class _CentralizedEngine:
     compare when nothing changed, O(changed edges) after a maintenance
     round; ``kernel="dict"`` answers on the live adjacency dictionaries
     (the reference path, see ``ARCHITECTURE.md``).
+
+    ``executor`` selects the physical backend used by :meth:`answer_many`
+    to fan a batch's independent OD pairs out (``"serial"`` — or ``None`` —
+    answers inline and is the reference; all backends return identical
+    paths and distances).  Engines built with the ``process`` backend
+    should be :meth:`close`\\ d to reap their worker processes.
     """
 
     name = "abstract"
 
-    def __init__(self, graph: DynamicGraph, kernel: str = "snapshot") -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        kernel: str = "snapshot",
+        executor: Union[str, Executor, None] = None,
+        executor_workers: int = 2,
+    ) -> None:
         self._graph = graph
         self.kernel = validate_kernel(kernel)
         self._snapshot: Optional[CSRSnapshot] = None
+        self._executor, self._owns_executor = resolve_executor(
+            executor, workers=executor_workers
+        )
+        self._replica_set = ReplicaSet(self._executor, _build_engine_replica, graph)
+
+    @property
+    def executor_name(self) -> str:
+        """Execution backend used for batch fan-out."""
+        return self._executor.name
 
     def _view(self):
         """The compute view answering the next query (refreshed snapshot or graph)."""
@@ -137,6 +208,47 @@ class _CentralizedEngine:
         else:
             self._snapshot.refresh()
         return self._snapshot
+
+    def answer(self, query: KSPQuery) -> QueryOutcome:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def answer_many(self, queries: Sequence[KSPQuery]) -> List[QueryOutcome]:
+        """Answer a batch, fanning independent OD pairs over the executor.
+
+        Queries within one batch are independent and observe one graph
+        version (the serving layer applies maintenance only between
+        batches), so they parallelise without coordination.
+        """
+        queries = list(queries)
+        backend = self._executor.name
+        if backend == "process" and queries:
+            return self._answer_on_replicas(queries)
+        if backend == "thread" and len(queries) > 1:
+            # Bring the shared snapshot current once, serially; every
+            # in-batch access is then read-only and thread-safe.
+            self._view()
+            return self._executor.map(self.answer, queries)
+        return [self.answer(query) for query in queries]
+
+    def _answer_on_replicas(self, queries: Sequence[KSPQuery]) -> List[QueryOutcome]:
+        group = self._replica_set.ensure(
+            lambda: (type(self), self._graph, self.kernel)
+        )
+        shards: Dict[int, List[Tuple[int, KSPQuery]]] = {}
+        for seq, query in enumerate(queries):
+            shards.setdefault(seq % group.num_slots, []).append((seq, query))
+        replies = group.call_each(
+            [(slot, "answer_many", (envelopes,)) for slot, envelopes in shards.items()]
+        )
+        tagged = [item for reply in replies for item in reply]
+        tagged.sort(key=lambda item: item[0])
+        return [outcome for _, outcome in tagged]
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        self._replica_set.discard()
+        if self._owns_executor:
+            self._executor.close()
 
 
 class YenEngine(_CentralizedEngine):
@@ -190,12 +302,24 @@ class BatchRunner:
         self._num_servers = num_servers
 
     def run(self, queries: Sequence[KSPQuery]) -> BatchReport:
-        """Execute every query and compute the aggregate report."""
+        """Execute every query and compute the aggregate report.
+
+        Engines exposing ``answer_many`` (all in-repo engines) receive the
+        whole batch at once so their execution backend can fan the
+        independent OD pairs out physically; other engines are driven one
+        query at a time.
+        """
         report = BatchReport(engine_name=self._engine.name, num_servers=self._num_servers)
-        for query in queries:
-            outcome = self._engine.answer(query)
-            report.outcomes.append(outcome)
-            report.total_cpu_seconds += outcome.elapsed_seconds
+        started = time.perf_counter()
+        answer_many = getattr(self._engine, "answer_many", None)
+        if answer_many is not None:
+            report.outcomes = list(answer_many(list(queries)))
+        else:
+            report.outcomes = [self._engine.answer(query) for query in queries]
+        report.wall_seconds = time.perf_counter() - started
+        report.total_cpu_seconds = sum(
+            outcome.elapsed_seconds for outcome in report.outcomes
+        )
         report.parallel_seconds = self._parallel_makespan(
             [outcome.elapsed_seconds for outcome in report.outcomes]
         )
