@@ -15,6 +15,8 @@ decisions the paper argues for qualitatively:
 * **Partial-path caching across iterations** (Section 5.2's optimisation).
   Compares the number of per-pair Yen computations KSP-DG performs with the
   number it would perform if every iteration recomputed all pairs.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -14,6 +14,8 @@ Two classes of claims:
   the serial backend on batch throughput.  On single-core containers the
   numbers are still measured and reported — expect process ≈ serial minus
   IPC overhead there, which is the honest result.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ varies, observing a U-shaped building time and growing EP-Index memory.
 Figure 18 additionally compares directed vs undirected construction on CUSA
 (directed costs roughly 2x because bounding paths are computed per
 direction).
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@ The paper applies a heavy update batch (alpha=50%, tau=50%) to CUSA and
 measures the time to refresh the DTLP index, for several z values and for
 both the undirected and directed variants; the directed index costs roughly
 twice as much to maintain.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@ The paper carves subgraphs of 50k-250k vertices out of COL and shows that
 both the construction time and the maintenance time of DTLP grow roughly
 linearly with the graph size.  Here the graph sizes are scaled grids of
 increasing size.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@ The paper streams 1000 rounds of weight changes (half of the edges each) and
 reports the maximum sustained throughput (edges/s) and the average per-update
 latency, observing that both are largely insensitive to the graph size.  The
 scaled version streams fewer rounds but reports the same two series.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 The paper applies a heavy update batch (alpha=50%, tau=50%) and measures the
 maintenance time for xi from 5 to 30, observing an ascending trend that
 flattens once additional bounding paths stop materialising.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 The paper fixes xi=10, tau=50% and varies the percentage of edges whose
 weight changes per snapshot from 10% to 50%; the maintenance time rises with
 alpha because more bounding paths and unit weights must be refreshed.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

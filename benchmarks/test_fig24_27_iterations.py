@@ -13,6 +13,8 @@ as four parameters vary:
 The scaled version uses the same protocol: build DTLP on the initial
 weights, apply one traffic snapshot with the given (alpha, tau), then answer
 a fixed query batch and report the mean number of iterations.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

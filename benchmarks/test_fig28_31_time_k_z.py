@@ -6,6 +6,8 @@ U-shape in z (too-small subgraphs mean a big skeleton graph; too-large
 subgraphs make per-subgraph Yen expensive) and a roughly linear growth in k.
 The scaled version uses the simulated cluster's parallel completion time as
 the processing-time metric.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@ The paper feeds batches of 2000-10000 queries and observes a roughly linear
 growth of the total processing time with batch size, with a low slope thanks
 to the distributed execution.  The scaled version sweeps the batch sizes of
 the experiment profile.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

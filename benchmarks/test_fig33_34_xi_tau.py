@@ -4,6 +4,8 @@ Figure 33 fixes a small query batch and shows the processing time falling as
 xi grows (fewer iterations thanks to tighter bounds); Figure 34 shows the
 processing time rising slowly with tau (looser bounds mean more iterations).
 Both effects are driven by the iteration counts of Figures 24-25.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ larger graphs.
 
 The scaled version uses the simulated cluster (4 workers) for KSP-DG and the
 parallel-makespan model with the same number of servers for the baselines.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

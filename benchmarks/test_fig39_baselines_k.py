@@ -3,6 +3,8 @@
 The paper fixes a query batch on FLA and varies k from 2 to 20; KSP-DG and
 FindKSP grow much more slowly than Yen, and KSP-DG stays the fastest.  The
 scaled version uses the profile's k grid on the largest configured dataset.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ queries somewhat faster than KSP-DG, but (Figure 41) its index maintenance
 under heavy weight churn is far more expensive than DTLP's, because the
 indexed shortest paths must be recomputed while DTLP's bounding paths never
 change.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

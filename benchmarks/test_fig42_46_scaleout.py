@@ -10,6 +10,8 @@
   linearly with the number of servers.
 * Section 6.6 (text) — the CPU and memory load spread across workers stays
   small; the simulated-cluster report exposes the same quantities.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -15,6 +15,8 @@ road network:
 The snapshot build cost is reported separately so the amortisation argument
 is visible.  Acceptance floor: snapshot shortest-path Dijkstra ≥ 2x the
 dict path.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

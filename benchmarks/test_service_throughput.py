@@ -8,6 +8,8 @@ origin/destination pairs, periodic traffic snapshots) through a
 :class:`~repro.service.server.KSPService` once with the result cache enabled
 and once without, and reports served queries/sec plus latency percentiles
 for both configurations.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@ The paper's Table 1 reports, per dataset, the number of vertices and edges,
 the default subgraph-size threshold z, the number of subgraphs (and how many
 have more than five boundary vertices), and the size of the skeleton graph.
 This benchmark regenerates the same table for the scaled datasets.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

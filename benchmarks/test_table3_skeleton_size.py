@@ -4,6 +4,8 @@ The paper's Table 3 shows that the skeleton graph shrinks as the subgraph
 size threshold z grows (fewer, larger subgraphs have relatively fewer
 boundary vertices).  This benchmark regenerates the table for the scaled
 datasets and asserts the monotone trend.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
 """
 
 from __future__ import annotations

@@ -22,7 +22,10 @@ CUSA, a scaled synthetic analogue) or ``--gr`` (path to a DIMACS file);
 ``bench``, ``replay`` and ``serve`` additionally accept
 ``--executor {serial,thread,process}`` to pick the physical execution
 backend (worker processes hold resident index replicas; see
-``ARCHITECTURE.md``, "Execution backends"), and ``replay``/``serve`` accept
+``ARCHITECTURE.md``, "Execution backends") and ``--rebalance [THRESHOLD]``
+to enable load-adaptive placement with live subgraph migration
+(``$REPRO_REBALANCE`` sets the default; see ``ARCHITECTURE.md``, "Load
+telemetry & rebalancing"); ``replay``/``serve`` accept
 ``--kernel {snapshot,dict}`` to pick the compute path, which the printed
 service report echoes back.
 """
@@ -37,7 +40,12 @@ from typing import Optional, Sequence
 from .algorithms import yen_k_shortest_paths
 from .bench.reporting import format_table
 from .core import DTLP, DTLPConfig, KSPDG
-from .distributed import KSPDGEngine, StormTopology
+from .distributed import (
+    KSPDGEngine,
+    StormTopology,
+    default_rebalance_spec,
+    resolve_rebalance,
+)
 from .dynamics import TrafficModel
 from .exec import EXECUTORS
 from .graph import DynamicGraph, dataset, read_gr, write_gr
@@ -99,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--alpha", type=float, default=0.0,
                        help="apply one traffic snapshot changing this fraction of edges first")
     bench.add_argument("--tau", type=float, default=0.3)
+    bench.add_argument("--rebalance", nargs="?", const="on", default=None,
+                       metavar="THRESHOLD",
+                       help="enable load-adaptive placement with live subgraph "
+                            "migration; optional max/mean imbalance threshold "
+                            "(default 1.25).  The batch then runs in rounds so "
+                            "the skew trigger can fire mid-run.  Defaults to "
+                            "$REPRO_REBALANCE or off")
+    bench.add_argument("--rounds", type=int, default=None,
+                       help="split the query batch into this many rounds "
+                            "(default: 4 when --rebalance is active, else 1)")
 
     def add_service_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--z", type=int, default=48)
@@ -115,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="physical execution backend for cache-miss compute "
                               "batches (see ARCHITECTURE.md, 'Execution backends'); "
                               "defaults to $REPRO_EXECUTOR or serial")
+        sub.add_argument("--rebalance", nargs="?", const="on", default=None,
+                         metavar="THRESHOLD",
+                         help="enable load-adaptive placement with live subgraph "
+                              "migration on the kspdg engine's topology "
+                              "(optional max/mean imbalance threshold, default "
+                              "1.25); the maintenance loop then re-tests the "
+                              "skew trigger every round.  Defaults to "
+                              "$REPRO_REBALANCE or off")
         sub.add_argument("--no-cache", action="store_true",
                          help="disable the result cache (every query computes)")
         sub.add_argument("--cache-capacity", type=int, default=4096)
@@ -148,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queries-per-epoch", type=int, default=40)
 
     return parser
+
+
+def _rebalance_spec(args: argparse.Namespace):
+    """The effective rebalance spec: ``--rebalance`` or ``$REPRO_REBALANCE``."""
+    if args.rebalance is not None:
+        return args.rebalance
+    return default_rebalance_spec()
 
 
 def _load_graph(args: argparse.Namespace) -> DynamicGraph:
@@ -206,25 +239,67 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.alpha > 0:
         dtlp.attach()
         TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
-    with StormTopology(dtlp, num_workers=args.workers, executor=args.executor) as topology:
+    rebalance = _rebalance_spec(args)
+    with StormTopology(
+        dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance
+    ) as topology:
         executor_name = topology.executor.name
         queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
             args.num_queries, k=args.k
         )
+        # With rebalancing active the batch runs in rounds so the skew
+        # trigger (tested between batches) can fire mid-run and later
+        # rounds serve on the corrected placement.
+        if args.rounds is not None and args.rounds < 1:
+            raise SystemExit("--rounds must be at least 1")
+        num_rounds = (
+            args.rounds
+            if args.rounds is not None
+            else (4 if topology.rebalancer is not None else 1)
+        )
+        num_rounds = max(1, min(num_rounds, len(queries) or 1))
+        chunk = max(1, -(-len(queries) // num_rounds))
+        results, makespan, compute, comm = [], 0.0, 0.0, 0
+        load_balance = {"busy_spread": 0.0}
+        executed_rounds = 0
         started = time.perf_counter()
-        report = topology.run_queries(queries)
+        for offset in range(0, len(queries), chunk):
+            report = topology.run_queries(queries[offset:offset + chunk])
+            executed_rounds += 1
+            results.extend(report.results)
+            makespan += report.makespan_seconds
+            compute += report.total_compute_seconds
+            comm += report.communication_units
+            load_balance = report.load_balance
         wall = time.perf_counter() - started
+        iterations = (
+            sum(result.iterations for result in results) / len(results)
+            if results else 0.0
+        )
+        rebalancer = topology.rebalancer
     rows = [
         ["queries", len(queries)],
         ["workers", args.workers],
         ["executor", executor_name],
+        ["rounds", executed_rounds],
         ["wall time (s)", round(wall, 4)],
-        ["parallel time (s)", round(report.makespan_seconds, 4)],
-        ["total compute (s)", round(report.total_compute_seconds, 4)],
-        ["communication (vertex units)", report.communication_units],
-        ["mean iterations", round(report.mean_iterations, 2)],
-        ["busy-time spread", round(report.load_balance["busy_spread"], 4)],
+        ["parallel time (s)", round(makespan, 4)],
+        ["total compute (s)", round(compute, 4)],
+        ["communication (vertex units)", comm],
+        ["mean iterations", round(iterations, 2)],
+        # Busy time is reset per round, so the spread describes the final
+        # round only — with rebalancing that is the post-migration steady
+        # state, which is the number of interest.
+        ["busy-time spread (final round)", round(load_balance["busy_spread"], 4)],
     ]
+    if rebalancer is not None:
+        rows += [
+            ["rebalances", rebalancer.rebalances],
+            ["subgraphs migrated", rebalancer.subgraphs_migrated],
+            ["migration transfer (vertex units)", rebalancer.transfer_units],
+            ["load imbalance (max/mean)",
+             round(rebalancer.load_report(topology.placement).imbalance(), 4)],
+        ]
     print(format_table(["metric", "value"], rows))
     return 0
 
@@ -233,6 +308,10 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
     """Assemble the serving stack requested by the service CLI arguments."""
     dtlp: Optional[DTLP] = None
     engine: QueryEngine
+    rebalance = _rebalance_spec(args)
+    # Resolve once: specs like "off"/"0" are non-None strings that still
+    # mean disabled.
+    rebalance_enabled = resolve_rebalance(rebalance) is not None
     if args.engine == "yen":
         engine = YenEngine(
             graph, kernel=args.kernel, executor=args.executor,
@@ -247,7 +326,13 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
         dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
         engine = KSPDGEngine.local(
             dtlp, num_workers=args.workers, kernel=args.kernel,
-            executor=args.executor,
+            executor=args.executor, rebalance=rebalance,
+        )
+    if rebalance_enabled and args.engine != "kspdg":
+        print(
+            f"note: --rebalance only applies to the kspdg engine's topology; "
+            f"ignored for {args.engine}",
+            file=sys.stderr,
         )
     traffic = TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed)
     return KSPService(
@@ -261,6 +346,7 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
         invalidation_mode=args.invalidation,
         queue_capacity=args.queue_capacity,
         max_batch_size=args.batch_size,
+        rebalance_every=1 if (rebalance_enabled and args.engine == "kspdg") else 0,
     )
 
 

@@ -2,13 +2,27 @@
 
 The *logical* cluster lives here (placement, routing, cost attribution);
 the *physical* execution backends live in :mod:`repro.exec` — see
-``ARCHITECTURE.md`` ("Placement vs. Executor").
+``ARCHITECTURE.md`` ("Placement vs. Executor").  The placement is either
+static (the paper's deployment-time greedy balance) or *load-adaptive*:
+:mod:`repro.distributed.rebalance` aggregates per-subgraph cost telemetry
+into rolling load reports and live-migrates subgraphs between workers when
+a configurable skew threshold is crossed (``ARCHITECTURE.md``, "Load
+telemetry & rebalancing").
 """
 
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster, SimulatedWorker, WorkerStats
 from .engine import DistributedBuildReport, KSPDGEngine, distributed_build_report
 from .placement import Placement, greedy_balance
+from .rebalance import (
+    LoadReport,
+    MigrationPlan,
+    RebalanceConfig,
+    Rebalancer,
+    default_rebalance_spec,
+    plan_rebalance,
+    resolve_rebalance,
+)
 from .runtime import TopologyBundle, TopologyReplica, build_topology_replica
 from .messages import (
     AttachmentRequestMessage,
@@ -32,6 +46,13 @@ __all__ = [
     "WorkerStats",
     "Placement",
     "greedy_balance",
+    "LoadReport",
+    "MigrationPlan",
+    "RebalanceConfig",
+    "Rebalancer",
+    "default_rebalance_spec",
+    "plan_rebalance",
+    "resolve_rebalance",
     "TopologyBundle",
     "TopologyReplica",
     "build_topology_replica",

@@ -117,7 +117,10 @@ class SubgraphBolt:
             )
         started = time.perf_counter()
         self._dtlp.subgraph_index(subgraph_id).apply_updates(updates)
-        self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        worker = self._cluster.worker(self.worker_id)
+        worker.charge_compute(elapsed)
+        worker.charge_subgraph(subgraph_id, elapsed)
 
     # ------------------------------------------------------------------
     # query support
@@ -144,10 +147,15 @@ class SubgraphBolt:
             collected: List[Path] = []
             for subgraph_id in local_owners:
                 subgraph = self._subgraph_view(subgraph_id)
+                sub_started = time.perf_counter()
                 try:
                     collected.extend(yen_k_shortest_paths(subgraph, pair[0], pair[1], k))
                 except PathNotFoundError:
                     continue
+                finally:
+                    self._cluster.worker(self.worker_id).charge_subgraph(
+                        subgraph_id, time.perf_counter() - sub_started
+                    )
             if not collected:
                 continue
             collected.sort()
@@ -176,11 +184,15 @@ class SubgraphBolt:
             subgraph = self._partition.subgraph(subgraph_id)
             if vertex not in subgraph.vertices:
                 continue
+            sub_started = time.perf_counter()
             index = self._dtlp.subgraph_index(subgraph_id)
             for boundary, distance in index.lower_bounds_from_vertex(vertex).items():
                 current = bounds.get(boundary)
                 if current is None or distance < current:
                     bounds[boundary] = distance
+            self._cluster.worker(self.worker_id).charge_subgraph(
+                subgraph_id, time.perf_counter() - sub_started
+            )
         self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
         return bounds
 
@@ -192,11 +204,15 @@ class SubgraphBolt:
             subgraph = self._partition.subgraph(subgraph_id)
             if source not in subgraph.vertices or target not in subgraph.vertices:
                 continue
+            sub_started = time.perf_counter()
             distances, _ = dijkstra(self._subgraph_view(subgraph_id), source, target=target)
             if target in distances:
                 value = distances[target]
                 if best is None or value < best:
                     best = value
+            self._cluster.worker(self.worker_id).charge_subgraph(
+                subgraph_id, time.perf_counter() - sub_started
+            )
         self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
         return best
 

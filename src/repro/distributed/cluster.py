@@ -19,7 +19,7 @@ latency trends rather than network-level effects.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.errors import ClusterError
@@ -30,7 +30,15 @@ __all__ = ["WorkerStats", "SimulatedWorker", "SimulatedCluster", "ClusterAccount
 
 @dataclass
 class WorkerStats:
-    """Accumulated cost statistics of one worker."""
+    """Accumulated cost statistics of one worker.
+
+    ``subgraph_seconds`` / ``subgraph_tasks`` attribute SubgraphBolt work
+    to the individual subgraph that was served — the telemetry stream the
+    load-adaptive placement layer (:mod:`repro.distributed.rebalance`)
+    aggregates.  They are a *parallel* channel: charging them never touches
+    ``busy_seconds`` or ``tasks_executed``, so the pre-existing counters
+    stay bit-identical to the seed behaviour.
+    """
 
     worker_id: int
     busy_seconds: float = 0.0
@@ -40,6 +48,8 @@ class WorkerStats:
     units_received: int = 0
     tasks_executed: int = 0
     memory_bytes: int = 0
+    subgraph_seconds: Dict[int, float] = field(default_factory=dict)
+    subgraph_tasks: Dict[int, int] = field(default_factory=dict)
 
 
 class SimulatedWorker:
@@ -77,8 +87,29 @@ class SimulatedWorker:
         self.stats.units_received += units
 
     def charge_memory(self, num_bytes: int) -> None:
-        """Attribute ``num_bytes`` of resident index memory to this worker."""
+        """Attribute ``num_bytes`` of resident index memory to this worker.
+
+        Negative amounts release memory — used when a subgraph index
+        migrates off this worker.
+        """
         self.stats.memory_bytes += num_bytes
+
+    def charge_subgraph(self, subgraph_id: int, seconds: float) -> None:
+        """Attribute one subgraph-serving operation to ``subgraph_id``.
+
+        Feeds the load-adaptive placement telemetry only; the worker-level
+        ``busy_seconds`` / ``tasks_executed`` counters are charged
+        separately (and unchanged) by the existing ``charge_compute``
+        calls.  The task count is the deterministic load metric (identical
+        on every execution backend); the seconds are the wall-clock one.
+        """
+        if seconds < 0:
+            raise ClusterError("cannot charge negative subgraph time")
+        stats = self.stats
+        stats.subgraph_seconds[subgraph_id] = (
+            stats.subgraph_seconds.get(subgraph_id, 0.0) + seconds
+        )
+        stats.subgraph_tasks[subgraph_id] = stats.subgraph_tasks.get(subgraph_id, 0) + 1
 
     def reset_time(self) -> None:
         """Clear accumulated busy time and message counters (memory stays)."""
@@ -238,6 +269,14 @@ class SimulatedCluster:
             mine.stats.units_sent += theirs.stats.units_sent
             mine.stats.units_received += theirs.stats.units_received
             mine.stats.tasks_executed += theirs.stats.tasks_executed
+            for subgraph_id, seconds in theirs.stats.subgraph_seconds.items():
+                mine.stats.subgraph_seconds[subgraph_id] = (
+                    mine.stats.subgraph_seconds.get(subgraph_id, 0.0) + seconds
+                )
+            for subgraph_id, tasks in theirs.stats.subgraph_tasks.items():
+                mine.stats.subgraph_tasks[subgraph_id] = (
+                    mine.stats.subgraph_tasks.get(subgraph_id, 0) + tasks
+                )
 
 
 class ClusterAccountant:

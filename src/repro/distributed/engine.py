@@ -51,6 +51,7 @@ class KSPDGEngine:
         kernel: str = "snapshot",
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
+        rebalance: Union[None, bool, float, str] = None,
     ) -> "KSPDGEngine":
         """Build an engine on a fresh simulated topology over ``dtlp``.
 
@@ -58,9 +59,10 @@ class KSPDGEngine:
         shares the live graph and index objects, so weight updates applied
         through the graph (and propagated with ``dtlp.attach()``) are
         immediately visible to subsequent queries.  ``kernel`` selects the
-        compute path of the bolts (array snapshots by default) and
-        ``executor`` the physical backend running query batches (see
-        ``ARCHITECTURE.md``).
+        compute path of the bolts (array snapshots by default),
+        ``executor`` the physical backend running query batches, and
+        ``rebalance`` enables load-adaptive placement with live subgraph
+        migration (see ``ARCHITECTURE.md``).
         """
         return cls(
             StormTopology(
@@ -69,6 +71,7 @@ class KSPDGEngine:
                 kernel=kernel,
                 executor=executor,
                 executor_workers=executor_workers,
+                rebalance=rebalance,
             )
         )
 

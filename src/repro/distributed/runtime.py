@@ -22,6 +22,13 @@ kinds of envelope ever cross the process boundary:
   bit for bit.  The chunk's charges are merged into one ledger cluster
   returned with the tagged results and absorbed by the master (charges
   are additive, so the merge is exact).
+* **placement-change plans** (:meth:`TopologyReplica.migrate` /
+  :meth:`TopologyReplica.fail_worker`) — the move lists computed on the
+  master by the load-adaptive placement layer
+  (:mod:`repro.distributed.rebalance`) or by failover.  Each replica
+  already holds every subgraph's state, so only the plan crosses the pipe
+  and the replica applies the identical bolt surgery in place — no
+  respawn, no bundle re-ship.
 
 The module-level :func:`build_topology_replica` is the picklable factory
 handed to :meth:`repro.exec.base.Executor.spawn_group`.
@@ -37,6 +44,7 @@ from ..graph.graph import WeightUpdate
 from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster
+from .rebalance import Move, apply_moves
 
 __all__ = [
     "TopologyBundle",
@@ -80,6 +88,7 @@ class TopologyReplica:
     def __init__(self, bundle: TopologyBundle) -> None:
         self._dtlp = bundle.dtlp
         self._graph = bundle.dtlp.graph
+        self._kernel = bundle.kernel
         self._cluster = SimulatedCluster(bundle.num_workers)
         self._account = ClusterAccountant(self._cluster)
         self._subgraph_bolts = [
@@ -124,6 +133,69 @@ class TopologyReplica:
             self._graph.apply_updates(updates)
             self._dtlp.handle_updates(updates)
         return self._graph.version
+
+    def migrate(self, moves: Sequence[Move]) -> int:
+        """Apply a master-computed migration plan to this replica, in place.
+
+        The replica holds every subgraph's state already (graph, partition
+        and DTLP indexes are resident), so a live migration is pure bolt
+        surgery: the same :func:`~repro.distributed.rebalance.apply_moves`
+        the master ran, against this replica's bolts and private cost
+        cluster, followed by the same spout re-wire.  Keeping both sides on
+        one code path is what keeps routing and accounting bit-identical
+        across the swap.  Returns the number of subgraphs migrated.
+        """
+        migrated = apply_moves(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=True,
+        )
+        self._rebuild_spout()
+        return migrated
+
+    def fail_worker(self, worker_id: int, moves: Sequence[Move]) -> int:
+        """Mirror the master's worker-failure surgery on this replica.
+
+        ``moves`` is the recovery plan the master computed; applying the
+        shipped plan (rather than recomputing it) guarantees the replica
+        reaches the exact same post-failure assignment.
+        """
+        # apply_moves discards every moved id from its failed source bolt,
+        # so the failed bolts end up empty without further surgery.
+        migrated = apply_moves(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=False,
+        )
+        self._subgraph_bolts = [
+            b for b in self._subgraph_bolts if b.worker_id != worker_id
+        ]
+        self._query_bolts = [
+            b for b in self._query_bolts if b.worker_id != worker_id
+        ]
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
+        if not self._query_bolts:
+            survivor = self._subgraph_bolts[0].worker_id
+            self._query_bolts = [
+                QueryBolt(
+                    name=f"query-bolt-{survivor}-recovered",
+                    worker_id=survivor,
+                    cluster=self._account,
+                    dtlp=self._dtlp,
+                    subgraph_bolts=self._subgraph_bolts,
+                    kernel=self._kernel,
+                )
+            ]
+        self._rebuild_spout()
+        return migrated
+
+    def _rebuild_spout(self) -> None:
+        """Re-wire this replica's spout against its current bolt lists."""
+        self._spout = EntranceSpout(
+            cluster=self._account,
+            dtlp=self._dtlp,
+            subgraph_bolts=self._subgraph_bolts,
+            query_bolts=self._query_bolts,
+        )
 
     def run_queries(
         self, envelopes: Sequence[QueryEnvelope]

@@ -37,6 +37,16 @@ from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster
 from .placement import Placement
+from .rebalance import (
+    LoadReport,
+    MigrationPlan,
+    Move,
+    RebalanceConfig,
+    Rebalancer,
+    apply_moves,
+    collect_subgraph_loads,
+    resolve_rebalance,
+)
 from .runtime import QueryEnvelope, TopologyBundle, build_topology_replica
 
 __all__ = ["TopologyReport", "StormTopology"]
@@ -101,6 +111,19 @@ class StormTopology:
         Degree of physical parallelism when ``executor`` is a name;
         defaults to ``num_workers`` so the physical pool mirrors the
         logical cluster.
+    rebalance:
+        Load-adaptive placement (see :mod:`repro.distributed.rebalance`):
+        ``None``/``False`` keeps the deployment-time placement fixed (the
+        paper's behaviour, and the default); ``True`` enables the skew
+        trigger with defaults; a number sets the imbalance threshold; a
+        :class:`~repro.distributed.rebalance.RebalanceConfig` sets
+        everything.  When enabled the topology folds each completed
+        batch's per-subgraph load telemetry into a rolling profile and —
+        at the configured cadence — migrates subgraphs live to rebalance
+        the observed (not estimated) load.  Paths and distances are
+        placement-independent, so results stay bit-identical across a
+        migration; the deterministic ``"tasks"`` metric keeps the
+        migrations themselves identical on every execution backend.
 
     Examples
     --------
@@ -125,6 +148,7 @@ class StormTopology:
         kernel: str = "snapshot",
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
+        rebalance: Union[None, bool, float, str, RebalanceConfig] = None,
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
@@ -151,6 +175,13 @@ class StormTopology:
 
         # Balanced logical placement of subgraphs onto workers by vertex count.
         self._placement = Placement.balanced(dtlp.partition, num_workers)
+
+        # Load-adaptive placement: rolling per-subgraph load aggregation and
+        # the skew trigger (None when static placement was requested).
+        config = resolve_rebalance(rebalance)
+        self._rebalancer: Optional[Rebalancer] = (
+            Rebalancer(config) if config is not None else None
+        )
 
         self._subgraph_bolts: List[SubgraphBolt] = []
         for worker_id in range(num_workers):
@@ -213,6 +244,11 @@ class StormTopology:
         return self._executor
 
     @property
+    def rebalancer(self) -> Optional[Rebalancer]:
+        """The load-adaptive placement loop, or ``None`` (static placement)."""
+        return self._rebalancer
+
+    @property
     def subgraph_bolts(self) -> Sequence[SubgraphBolt]:
         """The SubgraphBolt components."""
         return tuple(self._subgraph_bolts)
@@ -226,8 +262,28 @@ class StormTopology:
     # operations
     # ------------------------------------------------------------------
     def submit_weight_updates(self, updates: Sequence[WeightUpdate]) -> None:
-        """Route one batch of weight updates through the topology."""
+        """Route one batch of weight updates through the topology.
+
+        With rebalancing enabled, the per-subgraph maintenance charges are
+        folded into the rolling load profile immediately: they land on the
+        cluster *between* batches, where the next batch's metric reset
+        would erase them before the post-batch ``observe`` ran — and
+        update-driven hotspots (weight churn concentrated on a few
+        subgraphs) are exactly the skew the paper's scenario produces.
+        """
+        if self._rebalancer is None:
+            self._spout.submit_weight_updates(updates)
+            return
+        metric = self._rebalancer.config.metric
+        before = collect_subgraph_loads(self._cluster, metric)
         self._spout.submit_weight_updates(updates)
+        after = collect_subgraph_loads(self._cluster, metric)
+        delta = {
+            subgraph_id: amount - before.get(subgraph_id, 0.0)
+            for subgraph_id, amount in after.items()
+            if amount - before.get(subgraph_id, 0.0) > 0.0
+        }
+        self._rebalancer.observe_loads(delta)
 
     def fail_worker(self, worker_id: int) -> int:
         """Simulate the failure of one worker and reassign its subgraphs.
@@ -239,6 +295,14 @@ class StormTopology:
         first-level indexes) elsewhere.  The failed worker's QueryBolts stop
         receiving new queries.
 
+        Recovery reuses the live migration path
+        (:func:`~repro.distributed.rebalance.apply_moves` with
+        ``transfer_state=False`` — the dead worker cannot ship state, so
+        survivors rebuild the indexes from the shared graph store and only
+        memory is charged on the gainers).  On the process backend the
+        resident replicas perform the identical surgery in place via one
+        broadcast instead of being discarded and respawned.
+
         Returns the number of subgraphs that were migrated.  Raises
         :class:`~repro.graph.errors.ClusterError` when the id is unknown or
         when it is the only worker left.
@@ -249,18 +313,25 @@ class StormTopology:
         if not alive:
             raise ClusterError("cannot fail the only remaining worker")
 
-        migrated = 0
+        # Greedy re-hosting, least-loaded survivor first (subgraph-count
+        # load, the seed policy) — expressed as an explicit move list so
+        # master and process replicas execute the same plan.
         failed_bolts = [b for b in self._subgraph_bolts if b.worker_id == worker_id]
         surviving_bolts = [b for b in self._subgraph_bolts if b.worker_id != worker_id]
+        sizes = {bolt.worker_id: len(bolt.subgraph_ids) for bolt in surviving_bolts}
+        moves: List[Move] = []
         for bolt in failed_bolts:
             for subgraph_id in sorted(bolt.subgraph_ids):
-                target = min(surviving_bolts, key=lambda b: len(b.subgraph_ids))
-                target.subgraph_ids.add(subgraph_id)
-                self._cluster.worker(target.worker_id).charge_memory(
-                    self._dtlp.subgraph_index(subgraph_id).memory_estimate_bytes()
-                )
-                migrated += 1
-            bolt.subgraph_ids.clear()
+                target = min(surviving_bolts, key=lambda b: sizes[b.worker_id])
+                moves.append((subgraph_id, worker_id, target.worker_id))
+                sizes[target.worker_id] += 1
+
+        # apply_moves discards every moved id from its failed source bolt,
+        # so the failed bolts end up empty without further surgery.
+        migrated = apply_moves(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=False,
+        )
         self._subgraph_bolts = surviving_bolts
         self._query_bolts = [b for b in self._query_bolts if b.worker_id != worker_id]
         for query_bolt in self._query_bolts:
@@ -278,16 +349,10 @@ class StormTopology:
                     kernel=self._kernel,
                 )
             ]
-        # Rewire the spout with the surviving components.
-        self._spout = EntranceSpout(
-            cluster=self._account,
-            dtlp=self._dtlp,
-            subgraph_bolts=self._subgraph_bolts,
-            query_bolts=self._query_bolts,
-        )
+        self._rebuild_spout()
         # The logical placement changed: refresh it from the live bolts and
-        # discard any process-backend replicas (they are respawned from the
-        # post-failure assignment on the next batch).
+        # bring any resident process replicas along with one broadcast of
+        # the same failure plan (instead of a full respawn).
         self._placement = Placement(
             self._cluster.num_workers,
             {
@@ -296,8 +361,99 @@ class StormTopology:
                 for subgraph_id in bolt.subgraph_ids
             },
         )
-        self._replica_set.discard()
+        self._replica_set.broadcast("fail_worker", worker_id, moves)
         return migrated
+
+    # ------------------------------------------------------------------
+    # load-adaptive placement
+    # ------------------------------------------------------------------
+    def _alive_workers(self) -> List[int]:
+        """Worker ids currently hosting SubgraphBolts (failures excluded)."""
+        return sorted({bolt.worker_id for bolt in self._subgraph_bolts})
+
+    def load_report(self, metric: str = "tasks") -> LoadReport:
+        """Per-subgraph/per-worker load observed since the last metric reset.
+
+        Batch-scoped by default (``run_queries`` resets the cluster's time
+        counters before each batch); the *rolling* profile across batches
+        lives on :attr:`rebalancer` when rebalancing is enabled.
+        """
+        return LoadReport.collect(
+            self._cluster, self._placement, metric, workers=self._alive_workers()
+        )
+
+    def maybe_rebalance(self, force: bool = False) -> Optional[MigrationPlan]:
+        """Test the skew trigger and execute a live migration if it fires.
+
+        Requires the topology to have been built with ``rebalance=...``.
+        Called automatically after each ``check_every``-th batch; callers
+        may also invoke it directly (e.g. the serving layer's maintenance
+        loop, or ``force=True`` to rebalance regardless of the threshold).
+        Returns the executed plan, or ``None`` when no migration happened.
+        """
+        if self._rebalancer is None:
+            raise ClusterError(
+                "topology was built with a static placement; pass "
+                "rebalance=... to StormTopology to enable load-adaptive "
+                "placement"
+            )
+        plan = self._rebalancer.maybe_plan(
+            self._placement,
+            workers=self._alive_workers(),
+            force=force,
+            # Vertex counts — the deployment-time estimate — spread cold
+            # (unobserved) subgraphs by size instead of piling them onto
+            # greedy's first tie-break worker.
+            baseline={
+                subgraph.subgraph_id: float(subgraph.num_vertices)
+                for subgraph in self._dtlp.partition.subgraphs
+            },
+        )
+        if plan is None:
+            return None
+        self._execute_migration(plan)
+        # The transfer is charged to the live cluster, but the per-batch
+        # metric reset erases it before the next report — the rebalancer
+        # keeps the cumulative cost so reports can still surface it.
+        self._rebalancer.record_executed(
+            plan,
+            transfer_units=sum(
+                self._dtlp.partition.subgraph(subgraph_id).num_vertices
+                for subgraph_id, _, _ in plan.moves
+            ),
+        )
+        return plan
+
+    def _execute_migration(self, plan: MigrationPlan) -> None:
+        """Live-migrate subgraphs to the plan's placement, on every backend.
+
+        Runs strictly *between* batches (the only time this is called), so
+        there are no in-flight envelopes to drain — the synchronous batch
+        protocol is the drain.  The master re-hosts the subgraph ids,
+        re-attributes index memory and charges the state transfer as
+        communication; resident process replicas perform the identical
+        surgery via one ``migrate`` broadcast (the move list is the only
+        payload — each replica already holds every subgraph's state).  The
+        global ``route_index`` counter is untouched, so query routing —
+        and with it the result stream — continues bit-identically across
+        the swap.
+        """
+        apply_moves(
+            plan.moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=True,
+        )
+        self._placement = plan.placement
+        self._rebuild_spout()
+        self._replica_set.broadcast("migrate", list(plan.moves))
+
+    def _rebuild_spout(self) -> None:
+        """Re-wire the EntranceSpout against the current bolt assignment."""
+        self._spout = EntranceSpout(
+            cluster=self._account,
+            dtlp=self._dtlp,
+            subgraph_bolts=self._subgraph_bolts,
+            query_bolts=self._query_bolts,
+        )
 
     def run_queries(self, queries: Sequence[KSPQuery], reset_metrics: bool = True) -> TopologyReport:
         """Process a batch of queries and return the aggregate report.
@@ -334,6 +490,17 @@ class StormTopology:
         report.total_compute_seconds = self._cluster.total_compute_seconds()
         report.communication_units = self._cluster.total_communication_units()
         report.load_balance = self._cluster.load_balance_report()
+        # Load-adaptive placement: fold this batch's per-subgraph telemetry
+        # into the rolling profile, then fire the skew trigger if due.  The
+        # migration (if any) runs strictly between batches — after this
+        # report is frozen, before the next batch — so the swap never races
+        # in-flight work and the report reflects the placement that served
+        # it.  Only metric-reset batches observe (a reset_metrics=False
+        # batch would double-count the preceding one).
+        if self._rebalancer is not None and queries and reset_metrics:
+            self._rebalancer.observe(self._cluster, self._placement)
+            if self._rebalancer.check_due():
+                self.maybe_rebalance()
         return report
 
     # ------------------------------------------------------------------

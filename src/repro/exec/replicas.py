@@ -18,7 +18,7 @@ expose ``sync(updates)``; the graph must expose ``version`` and
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from ..graph.errors import ExecutorError
 from ..graph.graph import WeightUpdate
@@ -96,6 +96,21 @@ class ReplicaSet:
             self._group.broadcast("sync", deltas)
             self._synced_version = current
         return self._group
+
+    def broadcast(self, method: str, *args: Any) -> Optional[List[Any]]:
+        """Invoke ``method`` on every live replica; no-op when not spawned.
+
+        The complement of the delta-sync in :meth:`ensure` for state
+        changes that are *not* derivable from the graph's change feed —
+        e.g. a live subgraph migration, where the master ships the move
+        list once and every replica applies the identical surgery instead
+        of being discarded and respawned.  When the group is not spawned
+        there is nothing to keep in sync (the next :meth:`ensure` captures
+        live state in a fresh bundle) and ``None`` is returned.
+        """
+        if self._group is None:
+            return None
+        return self._group.broadcast(method, *args)
 
     def discard(self) -> None:
         """Drop the group; the next :meth:`ensure` respawns from fresh state."""

@@ -92,6 +92,15 @@ class KSPService:
     queue_capacity / max_batch_size:
         Admission-queue bound and micro-batch size (see
         :class:`RequestPipeline`).
+    rebalance_every:
+        When > 0 and the engine runs on a rebalancing topology (built with
+        ``rebalance=...``; see :mod:`repro.distributed.rebalance`), every
+        ``rebalance_every``-th maintenance round also tests the placement
+        skew trigger and live-migrates subgraphs if it fires.  This is the
+        maintenance-loop hook of the load-adaptive placement layer; the
+        topology additionally auto-checks at its own ``check_every``
+        batch cadence.  ``0`` (default) leaves rebalancing entirely to the
+        topology.
     """
 
     def __init__(
@@ -109,6 +118,7 @@ class KSPService:
         full_eviction_threshold: int = 512,
         queue_capacity: int = 256,
         max_batch_size: int = 16,
+        rebalance_every: int = 0,
     ) -> None:
         self._graph = graph
         self._engine = engine
@@ -146,6 +156,8 @@ class KSPService:
         self._pipeline = RequestPipeline(
             capacity=queue_capacity, max_batch_size=max_batch_size
         )
+        self._rebalance_every = rebalance_every
+        self._maintenance_since_rebalance = 0
         self._telemetry = ServiceTelemetry()
         self._closed = False
         if self._cache is not None:
@@ -353,6 +365,15 @@ class KSPService:
         self._graph.apply_updates(updates)
         elapsed = time.perf_counter() - started
         self._telemetry.record_maintenance(len(updates), elapsed)
+        if self._rebalance_every > 0:
+            self._maintenance_since_rebalance += 1
+            if self._maintenance_since_rebalance >= self._rebalance_every:
+                self._maintenance_since_rebalance = 0
+                topology = getattr(self._engine, "topology", None)
+                if topology is not None and topology.rebalancer is not None:
+                    # Between batches by construction: maintenance and
+                    # query batches never overlap in the serving loop.
+                    topology.maybe_rebalance()
         return updates
 
     # ------------------------------------------------------------------
@@ -369,6 +390,9 @@ class KSPService:
         else:
             hits = misses = invalidations = flushes = stale_rejections = 0
             hit_rate = 0.0
+        rebalancer = getattr(
+            getattr(self._engine, "topology", None), "rebalancer", None
+        )
         return self._telemetry.build_report(
             engine_name=getattr(self._engine, "name", type(self._engine).__name__),
             kernel=getattr(self._engine, "kernel", "dict"),
@@ -381,6 +405,8 @@ class KSPService:
             cache_invalidations=invalidations,
             cache_full_flushes=flushes,
             cache_stale_rejections=stale_rejections,
+            rebalances=rebalancer.rebalances if rebalancer else 0,
+            subgraphs_migrated=rebalancer.subgraphs_migrated if rebalancer else 0,
         )
 
     def close(self) -> None:

