@@ -24,7 +24,9 @@ def test_fig39_baseline_comparison_vs_k(scale, benchmark):
     name = "FLA" if "FLA" in scale.datasets else scale.datasets[-1]
     graph = build_dataset(name, scale=scale.graph_scale)
     dtlp = DTLP(graph, DTLPConfig(z=DATASET_DEFAULT_Z[name], xi=3)).build()
-    topology = StormTopology(dtlp, num_workers=NUM_SERVERS)
+    # pruning=False: the k-sweep reuses one dtlp, and the baselines run
+    # unpruned (prune=False) — KSP-DG must be measured on equal terms.
+    topology = StormTopology(dtlp, num_workers=NUM_SERVERS, pruning=False)
 
     rows = []
     ksp_dg_times = []
@@ -32,8 +34,8 @@ def test_fig39_baseline_comparison_vs_k(scale, benchmark):
     for k in scale.k_values:
         queries = make_queries(graph, scale.num_queries, k=k, seed=67)
         ksp_dg_report = topology.run_queries(queries)
-        yen_report = BatchRunner(YenEngine(graph), num_servers=NUM_SERVERS).run(queries)
-        findksp_report = BatchRunner(FindKSPEngine(graph), num_servers=NUM_SERVERS).run(queries)
+        yen_report = BatchRunner(YenEngine(graph, prune=False), num_servers=NUM_SERVERS).run(queries)
+        findksp_report = BatchRunner(FindKSPEngine(graph, prune=False), num_servers=NUM_SERVERS).run(queries)
         ksp_dg_times.append(ksp_dg_report.makespan_seconds)
         yen_times.append(yen_report.parallel_seconds)
         rows.append(

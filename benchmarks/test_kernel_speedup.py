@@ -28,7 +28,7 @@ import pytest
 
 from repro.algorithms.dijkstra import dijkstra, shortest_path
 from repro.algorithms.yen import yen_k_shortest_paths
-from repro.bench import print_experiment
+from repro.bench import print_experiment, write_bench_json
 from repro.graph import road_network
 from repro.kernel import CSRSnapshot
 
@@ -104,6 +104,22 @@ def test_kernel_speedup(scale, benchmark) -> None:
         ],
         notes="identical outputs asserted before timing; snapshot build amortises "
         "across every query until the next topology change",
+    )
+
+    # Machine-readable perf trajectory: the headline point-to-point Dijkstra
+    # comparison, uploaded as a CI artifact (see .github/workflows/ci.yml).
+    write_bench_json(
+        "kernel",
+        config={
+            "scale": scale.name,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "queries": len(pairs),
+            "workload": "shortest-path dijkstra",
+        },
+        baseline_ms=sp_dict * 1e3,
+        new_ms=sp_snap * 1e3,
+        qps=len(pairs) / sp_snap if sp_snap else None,
     )
 
     # Acceptance floor for the tentpole: the array kernel answers

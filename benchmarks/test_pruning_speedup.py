@@ -1,0 +1,141 @@
+"""Goal-directed pruning: end-to-end KSP-DG batch, pruned vs unpruned.
+
+Not a paper figure — the paper's evaluation never isolates the effect of
+*using* the lower bounds to prune the query searches (its baselines differ
+in indexing, not search discipline).  This benchmark measures exactly that
+isolation on the same DTLP index and the same snapshot kernel:
+
+* **unpruned** — the PR-2 baseline: every reference-path spur search and
+  every partial-KSP spur search is a blind early-exit Dijkstra, partial
+  results are cached per query only.
+* **pruned** — the goal-directed stack (``ARCHITECTURE.md``, "Goal-directed
+  search & pruning"): upper-bound cutoffs from the current k-th best
+  candidate, admissible lower bounds (ALT landmarks over the skeleton,
+  DTLP/landmark bounds inside subgraphs), one-to-many attachment searches,
+  and the cross-query partial-KSP memo keyed by weight epochs.
+
+Paths and distances are asserted **bit-identical** between the two
+configurations — and between the serial and process execution backends for
+the pruned one — before any timing is trusted.  Acceptance floor: the
+pruned landmark configuration answers the batch at least 1.5x faster than
+the unpruned baseline on a >= 2k-vertex network.
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_experiment, write_bench_json
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+from repro.graph import road_network
+from repro.workloads import QueryGenerator
+
+
+def _build(side, z, xi, executor, heuristic, pruning):
+    graph = road_network(side, side, seed=7)
+    dtlp = DTLP(graph, DTLPConfig(z=z, xi=xi)).build()
+    queries = QueryGenerator(graph, seed=11, min_hops=4).generate(24, k=4)
+    topology = StormTopology(
+        dtlp, num_workers=4, executor=executor,
+        heuristic=heuristic, pruning=pruning,
+    )
+    return graph, topology, queries
+
+
+def _run_batch(side, z, xi, executor, heuristic, pruning):
+    """One cold end-to-end batch; returns (wall seconds, result signature)."""
+    graph, topology, queries = _build(side, z, xi, executor, heuristic, pruning)
+    with topology:
+        started = time.perf_counter()
+        report = topology.run_queries(queries)
+        elapsed = time.perf_counter() - started
+    signature = [
+        [(path.vertices, path.distance) for path in result.paths]
+        for result in report.results
+    ]
+    return elapsed, signature, graph
+
+
+@pytest.mark.paper_figure("pruning")
+def test_pruning_speedup(scale, benchmark) -> None:
+    side = 45 if scale.name == "quick" else 60  # 45^2 = 2025 >= 2k vertices
+    z = 64
+    xi = 3
+
+    configs = [
+        ("unpruned (baseline)", "serial", "none", False),
+        ("bound-pruned", "serial", "none", True),
+        ("pruned + dtlp bounds", "serial", "dtlp", True),
+        ("pruned + landmarks", "serial", "landmark", True),
+    ]
+    timings = {}
+    signatures = {}
+    graph = None
+    for label, executor, heuristic, pruning in configs:
+        elapsed, signature, graph = _run_batch(side, z, xi, executor, heuristic, pruning)
+        timings[label] = elapsed
+        signatures[label] = signature
+
+    # Identity first: every pruned configuration must reproduce the
+    # unpruned baseline's paths and distances bit for bit.
+    reference = signatures["unpruned (baseline)"]
+    for label, signature in signatures.items():
+        assert signature == reference, f"{label} diverged from the unpruned baseline"
+
+    # ... and the pruned stack must stay bit-identical when the batch runs
+    # on resident worker-process replicas instead of the serial reference.
+    _, process_signature, _ = _run_batch(side, z, xi, "process", "landmark", True)
+    assert process_signature == reference
+
+    benchmark.pedantic(
+        lambda: _run_batch(side, z, xi, "serial", "landmark", True),
+        rounds=1,
+        iterations=1,
+    )
+
+    baseline = timings["unpruned (baseline)"]
+    rows = [
+        [label, round(timings[label] * 1e3, 1), round(baseline / timings[label], 2)]
+        for label, _, _, _ in configs
+    ]
+    print_experiment(
+        f"Goal-directed pruning: end-to-end KSP-DG batch of 24 queries, k=4 "
+        f"({graph.num_vertices} vertices, {graph.num_edges} edges, z={z}, xi={xi})",
+        ["configuration", "batch (ms)", "speedup"],
+        rows,
+        notes="identical paths/distances asserted across all configurations and "
+        "across serial vs process executors before timing; each configuration "
+        "runs cold on a fresh index (landmark tables, memos and snapshot caches "
+        "are built inside the timed batch)",
+    )
+
+    best = timings["pruned + landmarks"]
+    write_bench_json(
+        "pruning",
+        config={
+            "scale": scale.name,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "z": z,
+            "xi": xi,
+            "queries": 24,
+            "k": 4,
+            "heuristic": "landmark",
+        },
+        baseline_ms=baseline * 1e3,
+        new_ms=best * 1e3,
+        qps=24 / best if best else None,
+    )
+
+    # Acceptance floor of the goal-directed query kernel.
+    assert baseline / best >= 1.5, (
+        f"pruned landmark speedup {baseline / best:.2f}x below the 1.5x floor"
+    )
+    # The intermediate configurations must at least not regress materially.
+    assert baseline / timings["bound-pruned"] >= 0.9
+    assert baseline / timings["pruned + dtlp bounds"] >= 0.8

@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from repro.bench import print_experiment
+from repro.bench import print_experiment, write_bench_json
 from repro.dynamics import TrafficModel
 from repro.graph import road_network
 from repro.service import KSPService, generate_trace, replay
@@ -59,11 +59,13 @@ def test_service_throughput_cache_on_vs_off(scale, benchmark):
 
     rows = []
     throughputs = {}
+    elapsed_by_cache = {}
     for enable_cache in (True, False):
         outcome, elapsed = _run(23, side, num_queries, update_rounds, enable_cache)
         report = outcome.report
         qps = outcome.num_served / elapsed if elapsed else float("inf")
         throughputs[enable_cache] = qps
+        elapsed_by_cache[enable_cache] = elapsed
         rows.append(
             [
                 "on" if enable_cache else "off",
@@ -88,5 +90,21 @@ def test_service_throughput_cache_on_vs_off(scale, benchmark):
         notes="same mixed trace (60% repeating OD pairs, periodic snapshots) both runs; "
         "zero stale results asserted in both configurations",
     )
+    # Machine-readable perf trajectory: cache-off is the baseline, cache-on
+    # the serving configuration; qps is the cache-on throughput.
+    write_bench_json(
+        "service",
+        config={
+            "scale": scale.name,
+            "side": side,
+            "queries": num_queries,
+            "update_rounds": update_rounds,
+            "repeat_fraction": 0.6,
+        },
+        baseline_ms=elapsed_by_cache[False] * 1e3,
+        new_ms=elapsed_by_cache[True] * 1e3,
+        qps=throughputs[True],
+    )
+
     # Caching must not make serving slower on a repeat-heavy trace.
     assert throughputs[True] >= throughputs[False] * 0.9

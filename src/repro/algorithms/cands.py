@@ -74,9 +74,12 @@ class CandsIndex:
     def _index_subgraph(self, subgraph_id: int) -> Dict[Tuple[int, int], Path]:
         subgraph = self._partition.subgraph(subgraph_id)
         boundary = sorted(subgraph.boundary_vertices)
+        boundary_set = set(boundary)
         indexed: Dict[Tuple[int, int], Path] = {}
         for source in boundary:
-            distances, predecessors = dijkstra(subgraph, source)
+            # One-to-many: stop as soon as the last reachable boundary
+            # vertex settles instead of flooding the whole subgraph.
+            distances, predecessors = dijkstra(subgraph, source, targets=boundary_set)
             for target in boundary:
                 if target == source or target not in distances:
                     continue
@@ -149,8 +152,9 @@ class CandsIndex:
                         if u == vertex:
                             segments.append((v, path))
                 else:
-                    distances, predecessors = dijkstra(subgraph, vertex)
-                    for other in boundary | ({target} & subgraph.vertices):
+                    wanted = boundary | ({target} & subgraph.vertices)
+                    distances, predecessors = dijkstra(subgraph, vertex, targets=wanted)
+                    for other in wanted:
                         if other == vertex or other not in distances:
                             continue
                         vertices = [other]

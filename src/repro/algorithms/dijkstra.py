@@ -45,7 +45,12 @@ from typing import (
 
 from ..graph.errors import EdgeNotFoundError, PathNotFoundError, VertexNotFoundError
 from ..graph.paths import Path
-from ..kernel.primitives import dijkstra_arrays, reconstruct_indices
+from ..kernel.primitives import (
+    bounded_dijkstra_arrays,
+    dijkstra_arrays,
+    dijkstra_arrays_multi,
+    reconstruct_indices,
+)
 from ..kernel.snapshot import CSRSnapshot
 
 __all__ = [
@@ -109,6 +114,8 @@ def _dijkstra_snapshot(
     allowed_vertices: Optional[Set[int]],
     banned_vertices: Optional[Set[int]],
     banned_edges: Optional[Set[Tuple[int, int]]],
+    targets: Optional[Set[int]] = None,
+    cutoff: Optional[float] = None,
 ) -> Tuple[Dict[int, float], Dict[int, int]]:
     """Snapshot fast path of :func:`dijkstra`: translate, run kernel, translate back."""
     if banned_vertices and source in banned_vertices:
@@ -134,9 +141,51 @@ def _dijkstra_snapshot(
             for u, v in banned_edges
             if u in index_of and v in index_of
         }
+    ids = snapshot.ids
+    get_id = ids.__getitem__
+    if cutoff is not None and target_index >= 0:
+        # Upper-bound pruned variant (spur searches with a known bound):
+        # the labelled set is tracked by the kernel, so the id-space
+        # conversion stays O(labelled) like the unpruned path's.
+        dist, pred, _found, touched = bounded_dijkstra_arrays(
+            snapshot.rows,
+            len(ids),
+            source_index,
+            target_index,
+            cutoff=cutoff,
+            allowed=allowed_idx,
+            banned_vertices=banned_idx or None,
+            banned_pairs=banned_pairs or None,
+            track_touched=True,
+        )
+        assert touched is not None
+        distances = dict(zip(map(get_id, touched), map(dist.__getitem__, touched)))
+        rest = touched[1:]
+        predecessors = dict(
+            zip(map(get_id, rest), map(get_id, map(pred.__getitem__, rest)))
+        )
+        return distances, predecessors
+    if (
+        targets is not None
+        and target_index < 0
+        and allowed_idx is None
+        and not banned_idx
+        and not banned_pairs
+    ):
+        # One-to-many: stop as soon as every requested target is settled.
+        target_idx_set = {index_of[v] for v in targets if v in index_of}
+        dist, pred, _settled, touched = dijkstra_arrays_multi(
+            snapshot.rows, len(ids), source_index, target_idx_set
+        )
+        distances = dict(zip(map(get_id, touched), map(dist.__getitem__, touched)))
+        rest = touched[1:]
+        predecessors = dict(
+            zip(map(get_id, rest), map(get_id, map(pred.__getitem__, rest)))
+        )
+        return distances, predecessors
     dist, pred, touched = dijkstra_arrays(
         snapshot.rows,
-        len(snapshot.ids),
+        len(ids),
         source_index,
         target=target_index,
         allowed=allowed_idx,
@@ -145,8 +194,6 @@ def _dijkstra_snapshot(
     )
     # Labelled indices back to id space; every labelled vertex except the
     # source has a predecessor, so both conversions run at C speed.
-    ids = snapshot.ids
-    get_id = ids.__getitem__
     assert touched is not None
     distances = dict(zip(map(get_id, touched), map(dist.__getitem__, touched)))
     rest = touched[1:]
@@ -163,6 +210,8 @@ def dijkstra(
     allowed_vertices: Optional[Set[int]] = None,
     banned_vertices: Optional[Set[int]] = None,
     banned_edges: Optional[Set[Tuple[int, int]]] = None,
+    targets: Optional[Set[int]] = None,
+    cutoff: Optional[float] = None,
 ) -> Tuple[Dict[int, float], Dict[int, int]]:
     """Run Dijkstra's algorithm from ``source``.
 
@@ -184,6 +233,19 @@ def dijkstra(
     banned_edges:
         Directed edge pairs ``(u, v)`` that may not be traversed.  For
         undirected graphs callers should ban both orientations.
+    targets:
+        Optional *set* of targets (one-to-many): the search stops as soon
+        as every reachable member is settled.  Mutually exclusive with
+        ``target``.  Distances are final for settled members of ``targets``
+        (and for the predecessor chains leading to them); other labelled
+        entries may be tentative, exactly as with a single-target early
+        exit.
+    cutoff:
+        Optional upper bound on acceptable distances: relaxations beyond it
+        are discarded at push time.  A target whose true distance exceeds
+        the cutoff is reported unreachable.  Labels within the cutoff are
+        bit-identical to the unpruned run's (the bound prunes the frontier
+        but never reorders it).
 
     Returns
     -------
@@ -192,10 +254,28 @@ def dijkstra(
         ``source``; ``predecessors`` maps each settled vertex (except the
         source) to the previous vertex on a shortest path.
     """
+    if target is not None and targets is not None:
+        raise ValueError("pass either target or targets, not both")
     if isinstance(graph, CSRSnapshot):
-        return _dijkstra_snapshot(
-            graph, source, target, allowed_vertices, banned_vertices, banned_edges
+        # The kernel fast paths cover the combinations the query stack
+        # uses.  The remaining combinations — ``targets`` together with
+        # constraint sets, or ``cutoff`` without a resolvable target — run
+        # on the generic loop below instead (a snapshot speaks the
+        # ``neighbors`` protocol, and the generic loop honours every
+        # parameter), so no parameter is ever silently dropped and both
+        # kernels keep returning identical label dictionaries.
+        targets_supported = targets is None or (
+            allowed_vertices is None and not banned_vertices and not banned_edges
+            and cutoff is None
         )
+        cutoff_supported = cutoff is None or (
+            target is not None and graph.has_vertex(target)
+        )
+        if targets_supported and cutoff_supported:
+            return _dijkstra_snapshot(
+                graph, source, target, allowed_vertices, banned_vertices,
+                banned_edges, targets=targets, cutoff=cutoff,
+            )
     distances: Dict[int, float] = {source: 0.0}
     predecessors: Dict[int, int] = {}
     visited: Set[int] = set()
@@ -205,6 +285,12 @@ def dijkstra(
 
     if source in banned_vertices:
         return {}, {}
+    remaining: Optional[Set[int]] = None
+    if targets is not None:
+        remaining = set(targets)
+        remaining.discard(source)
+        if not remaining:
+            return distances, predecessors
 
     while heap:
         distance, vertex = heapq.heappop(heap)
@@ -213,6 +299,10 @@ def dijkstra(
         visited.add(vertex)
         if target is not None and vertex == target:
             break
+        if remaining is not None and vertex in remaining:
+            remaining.discard(vertex)
+            if not remaining:
+                break
         for neighbor, weight in iter_neighbors(graph, vertex):
             if neighbor in visited or neighbor in banned_vertices:
                 continue
@@ -221,6 +311,8 @@ def dijkstra(
             if (vertex, neighbor) in banned_edges:
                 continue
             candidate = distance + weight
+            if cutoff is not None and candidate > cutoff:
+                continue
             if candidate < distances.get(neighbor, float("inf")):
                 distances[neighbor] = candidate
                 predecessors[neighbor] = vertex

@@ -33,6 +33,8 @@ from .dijkstra import dijkstra, iter_neighbors, path_weight
 
 __all__ = ["find_ksp", "FindKSP"]
 
+_INF = float("inf")
+
 
 class FindKSP:
     """Stateful FindKSP query evaluator.
@@ -40,12 +42,25 @@ class FindKSP:
     Separating construction (SPT build) from enumeration keeps the cost
     model honest in benchmarks: the SPT is built once per query, not once
     per emitted path.
+
+    ``prune_k`` (a promise that at most ``prune_k`` paths will be
+    requested) enables upper-bound pruning of the deviation generation:
+    the SPT distance to the destination is a free admissible lower bound
+    of any simple completion, so a deviation whose prefix weight plus SPT
+    bound strictly exceeds the current ``prune_k``-th best known path is
+    skipped — including its restricted-Dijkstra fallback, which otherwise
+    dominates the cost on deviations that loop through the SPT.  Output is
+    bit-identical to the unpruned enumeration (only provably-useless
+    candidates are dropped).
     """
 
-    def __init__(self, graph, source: int, target: int) -> None:
+    def __init__(
+        self, graph, source: int, target: int, prune_k: Optional[int] = None
+    ) -> None:
         self._graph = graph
         self._source = source
         self._target = target
+        self._prune_k = prune_k
         # Shortest-path "tree" towards the target: for every vertex, the
         # distance to the target and the next hop towards it.
         self._dist_to_target, self._next_hop = self._build_spt()
@@ -131,12 +146,37 @@ class FindKSP:
         self._exhausted = True
         raise StopIteration
 
+    def _prune_bound(self) -> float:
+        """Upper bound on useful candidate distances (mirrors Yen's).
+
+        The ``prune_k``-th smallest distance among emitted paths plus
+        fresh candidates, once at least that many distinct paths are
+        known; ``inf`` otherwise (or without ``prune_k``).
+        """
+        k = self._prune_k
+        if k is None:
+            return _INF
+        remaining = k - len(self._emitted)
+        if remaining <= 0:
+            return _INF
+        emitted_vertices = {path.vertices for path in self._emitted}
+        fresh = [
+            distance
+            for distance, vertices in self._candidates
+            if vertices not in emitted_vertices
+        ]
+        if len(fresh) < remaining:
+            return _INF
+        return heapq.nsmallest(remaining, fresh)[-1]
+
     def _expand(self, previous: Path) -> None:
         """Generate deviation candidates from the most recently emitted path."""
         vertices = previous.vertices
+        bound = self._prune_bound()
         for spur_index in range(len(vertices) - 1):
             root = vertices[: spur_index + 1]
             spur_vertex = vertices[spur_index]
+            root_weight = path_weight(self._graph, root) if bound != _INF else None
             banned_edges: Set[Tuple[int, int]] = set()
             for path in self._emitted:
                 if path.vertices[: spur_index + 1] == root and len(path.vertices) > spur_index + 1:
@@ -149,10 +189,21 @@ class FindKSP:
                     continue
                 if (spur_vertex, neighbor) in banned_edges:
                     continue
+                cutoff = _INF
+                if root_weight is not None:
+                    # Any simple completion of root+(neighbor,) is at least
+                    # as long as the unconstrained SPT distance — a free
+                    # admissible lower bound.  Strictly worse than the
+                    # current k-th best means provably useless.
+                    prefix_weight = root_weight + weight
+                    spt_bound = self._dist_to_target.get(neighbor, _INF)
+                    if prefix_weight + spt_bound > bound:
+                        continue
+                    cutoff = bound - prefix_weight
                 candidate_vertices = self._complete_via_spt(root + (neighbor,))
                 if candidate_vertices is None:
                     candidate_vertices = self._complete_via_dijkstra(
-                        root + (neighbor,), banned_edges
+                        root + (neighbor,), banned_edges, cutoff
                     )
                 if candidate_vertices is None:
                     continue
@@ -163,7 +214,10 @@ class FindKSP:
                 heapq.heappush(self._candidates, (distance, candidate_vertices))
 
     def _complete_via_dijkstra(
-        self, prefix: Tuple[int, ...], banned_edges: Set[Tuple[int, int]]
+        self,
+        prefix: Tuple[int, ...],
+        banned_edges: Set[Tuple[int, int]],
+        cutoff: float = _INF,
     ) -> Optional[Tuple[int, ...]]:
         """Slow-path completion avoiding prefix vertices (keeps paths simple)."""
         last = prefix[-1]
@@ -174,6 +228,7 @@ class FindKSP:
             target=self._target,
             banned_vertices=banned_vertices,
             banned_edges=banned_edges,
+            cutoff=None if cutoff == _INF else cutoff,
         )
         if self._target not in distances:
             return None
@@ -187,17 +242,19 @@ class FindKSP:
         return vertices
 
 
-def find_ksp(graph, source: int, target: int, k: int) -> List[Path]:
+def find_ksp(graph, source: int, target: int, k: int, prune: bool = True) -> List[Path]:
     """Compute the ``k`` shortest simple paths using the FindKSP strategy.
 
     Mirrors the signature of
     :func:`repro.algorithms.yen.yen_k_shortest_paths`; the two functions
     return identical path sets (possibly in a different order among
-    equal-length paths).
+    equal-length paths).  ``prune`` (default on) enables upper-bound
+    pruning of the deviation generation; the output is bit-identical
+    either way.
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    enumerator = FindKSP(graph, source, target)
+    enumerator = FindKSP(graph, source, target, prune_k=k if prune else None)
     paths: List[Path] = []
     for _ in range(k):
         try:

@@ -20,20 +20,38 @@ Both interfaces accept either a plain graph-like object or a
 :class:`~repro.kernel.snapshot.CSRSnapshot`; with a snapshot, every spur
 search runs on the array kernel (see ``ARCHITECTURE.md``) while the
 deviation bookkeeping — and therefore the exact output — stays identical.
+
+Both interfaces additionally support *upper-bound pruning* (see
+``ARCHITECTURE.md``, "Goal-directed search & pruning"): when the number of
+paths the caller will consume is known (``prune_k`` / the ``k`` of
+:func:`yen_k_shortest_paths`), any spur search whose best possible total
+distance strictly exceeds the current k-th best known path can be abandoned
+— it provably cannot contribute to the output.  An optional admissible
+lower-bound provider (:mod:`repro.kernel.heuristics`) tightens the test
+from "root distance" to "root distance + lower bound of the spur".  The
+pruned enumeration returns **bit-identical** paths: bounds only ever
+discard candidates strictly worse than the k-th best, and the pruned
+kernel searches preserve relaxation order (ties included).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.errors import QueryError
 from ..graph.paths import Path
-from ..kernel.primitives import dijkstra_arrays, reconstruct_indices
+from ..kernel.primitives import (
+    bounded_dijkstra_arrays,
+    dijkstra_arrays,
+    reconstruct_indices,
+)
 from ..kernel.snapshot import CSRSnapshot
 from .dijkstra import dijkstra, path_weight, shortest_path
 
 __all__ = ["yen_k_shortest_paths", "LazyYen"]
+
+_INF = float("inf")
 
 
 class LazyYen:
@@ -52,6 +70,19 @@ class LazyYen:
         Query endpoints.
     allowed_vertices:
         Optional vertex set the paths must stay within.
+    prune_k:
+        Promise that the caller will request at most ``prune_k`` paths.
+        Enables upper-bound pruning of the spur searches: deviations whose
+        best possible distance strictly exceeds the current ``prune_k``-th
+        best known path are skipped.  The produced paths are bit-identical
+        to the unpruned enumeration — but only the first ``prune_k`` of
+        them exist; requesting more is a contract violation.
+    heuristic:
+        Optional admissible lower-bound provider (an object exposing
+        ``bounds_to(target)``, see :mod:`repro.kernel.heuristics`).
+        Honoured only when ``graph`` is a snapshot; it tightens both the
+        per-spur skip test and the in-search pruning.  Admissibility keeps
+        results exact; the test suite asserts it rather than assuming it.
     """
 
     def __init__(
@@ -60,11 +91,17 @@ class LazyYen:
         source: int,
         target: int,
         allowed_vertices: Optional[Set[int]] = None,
+        prune_k: Optional[int] = None,
+        heuristic=None,
     ) -> None:
         self._graph = graph
         self._source = source
         self._target = target
         self._allowed = allowed_vertices
+        self._prune_k = prune_k
+        # External upper bound (see set_upper_bound); -inf is never used,
+        # inf disables it.
+        self._upper_bound = _INF
         # Snapshot fast path: spur searches run on the array kernel without
         # converting labelled sets back to dictionaries.  The deviation
         # bookkeeping (and therefore the produced paths) is identical.
@@ -75,6 +112,10 @@ class LazyYen:
             self._allowed_idx = {
                 index_of[v] for v in allowed_vertices if v in index_of
             }
+        # Admissible per-index lower bounds to the target (snapshot only).
+        self._bounds: Optional[Sequence[float]] = None
+        if self._snapshot is not None and heuristic is not None:
+            self._bounds = heuristic.bounds_to(target)
         self._found: List[Path] = []
         self._candidates: List[Tuple[float, Tuple[int, ...]]] = []
         self._candidate_set: Set[Tuple[int, ...]] = set()
@@ -88,6 +129,20 @@ class LazyYen:
     def found_paths(self) -> List[Path]:
         """Paths produced so far, in increasing distance order."""
         return list(self._found)
+
+    def set_upper_bound(self, bound: float) -> None:
+        """Install an external upper bound on useful path distances.
+
+        Contract: the caller promises that paths with distance **strictly
+        greater** than ``bound`` will never be consumed — the enumerator is
+        then free to never generate them (``next_path`` may raise
+        :class:`StopIteration` earlier than the unpruned enumeration
+        would).  KSP-DG uses the distance of its current k-th best complete
+        candidate: by Theorem 3 the iteration stops at the first reference
+        path at least that long, so longer reference paths are dead weight.
+        Pass ``float("inf")`` to lift the bound.
+        """
+        self._upper_bound = bound
 
     def __iter__(self) -> Iterator[Path]:
         return self
@@ -127,18 +182,70 @@ class LazyYen:
         self._exhausted = True
         raise StopIteration
 
+    def _prune_bound(self) -> float:
+        """Current upper bound on the distance of a *useful* new candidate.
+
+        Combines the external bound (:meth:`set_upper_bound`) with the
+        ``prune_k`` bound: once found-plus-candidates hold at least
+        ``prune_k`` distinct paths, the ``prune_k``-th best distance among
+        them bounds everything the caller can still consume.  Candidates
+        duplicating an already-found path are excluded (they will be
+        skipped on pop), so the bound is never too tight.  Ties survive:
+        every pruning test downstream uses *strictly greater than*.
+        """
+        bound = self._upper_bound
+        k = self._prune_k
+        if k is None:
+            return bound
+        remaining = k - len(self._found)
+        if remaining <= 0:
+            # Contract violation guard (more paths requested than promised):
+            # stop tightening rather than over-prune further.
+            return bound
+        found_vertices = {path.vertices for path in self._found}
+        fresh = [
+            distance
+            for distance, vertices in self._candidates
+            if vertices not in found_vertices
+        ]
+        if len(fresh) >= remaining:
+            kth = heapq.nsmallest(remaining, fresh)[-1]
+            if kth < bound:
+                bound = kth
+        return bound
+
+    def _bound_at(self, vertex: int) -> float:
+        """Admissible lower bound of the distance from ``vertex`` to the target."""
+        if self._bounds is None or self._snapshot is None:
+            return 0.0
+        index = self._snapshot.index_of.get(vertex)
+        if index is None:
+            return 0.0
+        return self._bounds[index]
+
     def _generate_candidates_from(self, previous: Path) -> None:
         """Generate deviation candidates from the most recent result path.
 
         Applies Lawler's optimisation: deviations at prefix indexes before the
         point where ``previous`` itself deviated from its parent were already
-        generated when the parent was expanded, so they are skipped.
+        generated when the parent was expanded, so they are skipped.  With a
+        finite prune bound, deviations that provably cannot beat the current
+        k-th best path are skipped entirely, and the remaining spur searches
+        run with an upper-bound cutoff.
         """
         previous_vertices = previous.vertices
         first_spur_index = self._deviation_index.get(previous.vertices, 0)
+        bound = self._prune_bound()
         for spur_index in range(first_spur_index, len(previous_vertices) - 1):
             root = previous_vertices[: spur_index + 1]
             spur_vertex = previous_vertices[spur_index]
+            root_distance: Optional[float] = None
+            cutoff = _INF
+            if bound != _INF:
+                root_distance = path_weight(self._graph, root)
+                if root_distance + self._bound_at(spur_vertex) > bound:
+                    continue
+                cutoff = bound - root_distance
             banned_edges: Set[Tuple[int, int]] = set()
             for path in self._found:
                 if path.vertices[: spur_index + 1] == root and len(path.vertices) > spur_index + 1:
@@ -146,7 +253,7 @@ class LazyYen:
                     banned_edges.add((u, v))
                     banned_edges.add((v, u))
             banned_vertices = set(root[:-1])
-            spur = self._spur_search(spur_vertex, banned_vertices, banned_edges)
+            spur = self._spur_search(spur_vertex, banned_vertices, banned_edges, cutoff)
             if spur is None:
                 continue
             spur_distance, spur_vertices = spur
@@ -155,7 +262,8 @@ class LazyYen:
                 continue
             if total_vertices in self._candidate_set:
                 continue
-            root_distance = path_weight(self._graph, root)
+            if root_distance is None:
+                root_distance = path_weight(self._graph, root)
             total_distance = root_distance + spur_distance
             self._candidate_set.add(total_vertices)
             self._deviation_index.setdefault(total_vertices, spur_index)
@@ -166,13 +274,16 @@ class LazyYen:
         spur_vertex: int,
         banned_vertices: Set[int],
         banned_edges: Set[Tuple[int, int]],
+        cutoff: float = _INF,
     ) -> Optional[Tuple[float, List[int]]]:
         """Best spur path from ``spur_vertex`` to the target, or ``None``.
 
         Returns ``(spur_distance, spur_vertex_sequence)``.  On a snapshot
         the search stays in index space end to end; otherwise the generic
         :func:`~repro.algorithms.dijkstra.dijkstra` runs and the result
-        dictionaries are walked as before.
+        dictionaries are walked as before.  A finite ``cutoff`` switches to
+        the bound-pruned kernel: spur paths longer than the cutoff are
+        reported as missing, which is exactly how the caller treats them.
         """
         snapshot = self._snapshot
         if snapshot is None:
@@ -183,6 +294,7 @@ class LazyYen:
                 allowed_vertices=self._allowed,
                 banned_vertices=banned_vertices,
                 banned_edges=banned_edges,
+                cutoff=None if cutoff == _INF else cutoff,
             )
             if self._target not in distances:
                 return None
@@ -202,17 +314,33 @@ class LazyYen:
             for u, v in banned_edges
             if u in index_of and v in index_of
         }
-        dist, pred, _ = dijkstra_arrays(
-            snapshot.rows,
-            len(snapshot.ids),
-            spur_index_pos,
-            target=target_index,
-            allowed=self._allowed_idx,
-            banned_vertices=banned_idx or None,
-            banned_pairs=banned_pairs or None,
-        )
-        if target_index != spur_index_pos and pred[target_index] < 0:
-            return None
+        if cutoff != _INF:
+            dist, pred, found, _ = bounded_dijkstra_arrays(
+                snapshot.rows,
+                len(snapshot.ids),
+                spur_index_pos,
+                target_index,
+                bounds=self._bounds,
+                cutoff=cutoff,
+                allowed=self._allowed_idx,
+                banned_vertices=banned_idx or None,
+                banned_pairs=banned_pairs or None,
+            )
+            if not found:
+                return None
+        else:
+            dist, pred, _ = dijkstra_arrays(
+                snapshot.rows,
+                len(snapshot.ids),
+                spur_index_pos,
+                target=target_index,
+                allowed=self._allowed_idx,
+                banned_vertices=banned_idx or None,
+                banned_pairs=banned_pairs or None,
+                track_touched=False,
+            )
+            if target_index != spur_index_pos and pred[target_index] < 0:
+                return None
         sequence = reconstruct_indices(pred, spur_index_pos, target_index)
         get_id = snapshot.ids.__getitem__
         return dist[target_index], list(map(get_id, sequence))
@@ -224,6 +352,8 @@ def yen_k_shortest_paths(
     target: int,
     k: int,
     allowed_vertices: Optional[Set[int]] = None,
+    prune: bool = True,
+    heuristic=None,
 ) -> List[Path]:
     """Compute the ``k`` shortest simple paths from ``source`` to ``target``.
 
@@ -231,10 +361,23 @@ def yen_k_shortest_paths(
     distinct simple paths between the endpoints.  Raises
     :class:`~repro.graph.errors.PathNotFoundError` when the endpoints are
     disconnected and :class:`~repro.graph.errors.QueryError` for ``k <= 0``.
+
+    ``prune`` (default on) enables upper-bound pruning of the spur searches
+    — output is bit-identical either way; ``prune=False`` exists for
+    benchmarking the unpruned baseline.  ``heuristic`` optionally supplies
+    admissible lower bounds (snapshot graphs only, see
+    :mod:`repro.kernel.heuristics`) that tighten the pruning further.
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    enumerator = LazyYen(graph, source, target, allowed_vertices=allowed_vertices)
+    enumerator = LazyYen(
+        graph,
+        source,
+        target,
+        allowed_vertices=allowed_vertices,
+        prune_k=k if prune else None,
+        heuristic=heuristic,
+    )
     paths: List[Path] = []
     for _ in range(k):
         try:

@@ -1,5 +1,6 @@
 """Benchmark harness: scaled experiment profiles and reporting helpers."""
 
+from .benchjson import bench_output_dir, write_bench_json
 from .harness import (
     DATASET_DEFAULT_Z,
     FULL_SCALE,
@@ -23,4 +24,6 @@ __all__ = [
     "make_update_batch",
     "format_table",
     "print_experiment",
+    "bench_output_dir",
+    "write_bench_json",
 ]

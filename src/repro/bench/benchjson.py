@@ -1,0 +1,68 @@
+"""Machine-readable benchmark results (``BENCH_*.json``).
+
+The text tables in ``bench_report.txt`` are for humans; this module writes
+the numbers future PRs diff against.  Each benchmark that tracks a headline
+before/after comparison calls :func:`write_bench_json` once, producing a
+``BENCH_<name>.json`` file with a fixed, flat schema::
+
+    {
+      "bench": "kernel",
+      "config": {...},          # graph sizes, batch sizes, knobs
+      "baseline_ms": 123.4,     # the slow / reference configuration
+      "new_ms": 56.7,           # the configuration under test
+      "speedup": 2.18,          # baseline_ms / new_ms
+      "qps": 148.0              # optional throughput of the new config
+    }
+
+Files land next to ``bench_report.txt`` (the directory of
+``$REPRO_BENCH_REPORT``, which the benchmark conftest points at the
+repository root by default), so a plain ``pytest benchmarks/`` leaves
+``BENCH_kernel.json`` etc. at the repo root and CI uploads them as
+artifacts — the perf trajectory of the project, one point per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Union
+
+__all__ = ["write_bench_json", "bench_output_dir"]
+
+Number = Union[int, float]
+
+
+def bench_output_dir() -> str:
+    """Directory receiving ``BENCH_*.json`` files.
+
+    The directory of ``$REPRO_BENCH_REPORT`` when set (the benchmark
+    conftest points it at the repository root), the working directory
+    otherwise.
+    """
+    report_path = os.environ.get("REPRO_BENCH_REPORT")
+    if report_path:
+        return os.path.dirname(os.path.abspath(report_path))
+    return os.getcwd()
+
+
+def write_bench_json(
+    bench: str,
+    config: Dict[str, Union[Number, str]],
+    baseline_ms: float,
+    new_ms: float,
+    qps: Optional[float] = None,
+) -> str:
+    """Write one benchmark's headline comparison; returns the file path."""
+    payload = {
+        "bench": bench,
+        "config": config,
+        "baseline_ms": round(baseline_ms, 3),
+        "new_ms": round(new_ms, 3),
+        "speedup": round(baseline_ms / new_ms, 3) if new_ms else None,
+        "qps": round(qps, 1) if qps is not None else None,
+    }
+    path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
+    with open(path, "wt", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -33,6 +33,8 @@ service report echoes back.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 import time
 from typing import Optional, Sequence
@@ -89,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--source", type=int, required=True)
     query.add_argument("--target", type=int, required=True)
     query.add_argument("--k", type=int, default=3)
+    query.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
+                       default="none",
+                       help="admissible lower-bound provider pruning the searches")
     query.add_argument("--verify", action="store_true",
                        help="cross-check the answer against Yen's algorithm")
 
@@ -117,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rounds", type=int, default=None,
                        help="split the query batch into this many rounds "
                             "(default: 4 when --rebalance is active, else 1)")
+    bench.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
+                       default="none",
+                       help="admissible lower-bound provider pruning the query "
+                            "searches (see ARCHITECTURE.md, 'Goal-directed "
+                            "search & pruning'); results are bit-identical")
+    bench.add_argument("--profile", action="store_true",
+                       help="run the query batch under cProfile and print the "
+                            "top-25 functions by cumulative time, so perf work "
+                            "starts from data instead of guesses")
 
     def add_service_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--z", type=int, default=48)
@@ -127,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--kernel", choices=["snapshot", "dict"], default="snapshot",
                          help="compute kernel: array-backed snapshots (default) or the "
                               "dict-based reference path; surfaced in the service report")
+        sub.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
+                         default="none",
+                         help="admissible lower-bound provider pruning the kspdg "
+                              "engine's searches (landmark = ALT tables, dtlp = "
+                              "reuse the index's lower-bound distances); requires "
+                              "the snapshot kernel, results are bit-identical")
         sub.add_argument("--workers", type=int, default=4,
                          help="simulated workers for the kspdg engine")
         sub.add_argument("--executor", choices=list(EXECUTORS), default=None,
@@ -211,7 +231,7 @@ def _command_stats(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
-    engine = KSPDG(dtlp)
+    engine = KSPDG(dtlp, heuristic=args.heuristic)
     result = engine.query(args.source, args.target, args.k)
     if not result.paths:
         print(f"no path from {args.source} to {args.target}")
@@ -241,7 +261,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
     rebalance = _rebalance_spec(args)
     with StormTopology(
-        dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance
+        dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance,
+        heuristic=args.heuristic,
     ) as topology:
         executor_name = topology.executor.name
         queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
@@ -262,7 +283,10 @@ def _command_bench(args: argparse.Namespace) -> int:
         results, makespan, compute, comm = [], 0.0, 0.0, 0
         load_balance = {"busy_spread": 0.0}
         executed_rounds = 0
+        profiler = cProfile.Profile() if args.profile else None
         started = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
         for offset in range(0, len(queries), chunk):
             report = topology.run_queries(queries[offset:offset + chunk])
             executed_rounds += 1
@@ -271,6 +295,8 @@ def _command_bench(args: argparse.Namespace) -> int:
             compute += report.total_compute_seconds
             comm += report.communication_units
             load_balance = report.load_balance
+        if profiler is not None:
+            profiler.disable()
         wall = time.perf_counter() - started
         iterations = (
             sum(result.iterations for result in results) / len(results)
@@ -301,6 +327,11 @@ def _command_bench(args: argparse.Namespace) -> int:
              round(rebalancer.load_report(topology.placement).imbalance(), 4)],
         ]
     print(format_table(["metric", "value"], rows))
+    if args.profile:
+        # The hottest query batch, top-25 by cumulative time: the starting
+        # point for any future perf PR.
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 
@@ -327,10 +358,17 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
         engine = KSPDGEngine.local(
             dtlp, num_workers=args.workers, kernel=args.kernel,
             executor=args.executor, rebalance=rebalance,
+            heuristic=args.heuristic,
         )
     if rebalance_enabled and args.engine != "kspdg":
         print(
             f"note: --rebalance only applies to the kspdg engine's topology; "
+            f"ignored for {args.engine}",
+            file=sys.stderr,
+        )
+    if args.heuristic != "none" and args.engine != "kspdg":
+        print(
+            f"note: --heuristic only applies to the kspdg engine; "
             f"ignored for {args.engine}",
             file=sys.stderr,
         )

@@ -24,6 +24,7 @@ kernel trade-off.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -31,6 +32,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..graph.errors import IndexStateError
 from ..graph.graph import DynamicGraph, WeightUpdate
 from ..graph.partition import GraphPartition, partition_graph
+from ..graph.paths import Path
+from ..kernel.heuristics import DTLPLowerBounds, LandmarkLowerBounds
 from ..kernel.snapshot import CSRSnapshot
 from .lsh import lsh_group_edges
 from .mfp_tree import MFPForest, build_mfp_forest
@@ -38,6 +41,13 @@ from .skeleton import SkeletonGraph
 from .subgraph_index import SubgraphIndex
 
 __all__ = ["DTLPConfig", "DTLPStatistics", "DTLP"]
+
+#: Cap on cross-query partial-KSP memo entries.  Each entry holds up to k
+#: Path tuples; eviction is FIFO (dict insertion order), tolerant of the
+#: benign insert races the thread executor produces.  32k entries cover
+#: every boundary pair of the scaled datasets many times over while
+#: bounding a long-running service's footprint.
+_PARTIAL_MEMO_LIMIT = 32_768
 
 
 @dataclass(frozen=True)
@@ -160,6 +170,31 @@ class DTLP:
         self._build_seconds = 0.0
         self._last_maintenance_seconds = 0.0
         self._attached = False
+        # Per-subgraph weight epochs: a subgraph's epoch advances only when
+        # an edge it contains changed weight, derived lazily from the
+        # graph's change feed.  Epochs key the cross-query caches below —
+        # the partial-KSP memo and the heuristic lower-bound providers —
+        # so a maintenance round invalidates exactly the touched subgraphs.
+        self._weight_epochs: Dict[int, int] = {}
+        self._weight_epoch_version = graph.version
+        self._epoch_lock = threading.Lock()
+        # (subgraph_id, ordered pair, k) -> (epoch, partial k shortest
+        # paths).  Shared by KSP-DG queries and the SubgraphBolts; entries
+        # from stale epochs are overwritten on first recompute.
+        self._partial_memo: Dict[
+            Tuple[int, Tuple[int, int], int], Tuple[int, Tuple[Path, ...]]
+        ] = {}
+        # (subgraph_id, heuristic mode) -> lower-bound provider; providers
+        # self-invalidate against their snapshot's weights_epoch.
+        self._heuristic_providers: Dict[Tuple[int, str], object] = {}
+        # Shared kernel view of the un-augmented skeleton graph plus its
+        # landmark tables, refreshed by graph-version compare.  Augmented
+        # (per-query) skeletons always get fresh snapshots — their
+        # attachment edges create shortcuts, so cached base-skeleton
+        # distances would not be valid bounds for them.
+        self._skeleton_kernel_snapshot: Optional[CSRSnapshot] = None
+        self._skeleton_kernel_version: int = -1
+        self._skeleton_landmarks: Optional[LandmarkLowerBounds] = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -242,6 +277,136 @@ class DTLP:
         return self._mfp_forests.get(subgraph_id)
 
     # ------------------------------------------------------------------
+    # cross-query reuse: weight epochs, partial-KSP memo, heuristics
+    # ------------------------------------------------------------------
+    def subgraph_weights_epoch(self, subgraph_id: int) -> int:
+        """Epoch counter of one subgraph's weights.
+
+        Advances exactly when an edge contained in the subgraph changed
+        weight, derived lazily from the graph's
+        :meth:`~repro.graph.graph.DynamicGraph.edges_changed_since` feed.
+        Serves as the invalidation key of every cross-query cache: two
+        reads returning the same epoch guarantee the subgraph's weights
+        did not change in between.  Thread-safe (concurrent query batches
+        read epochs while the graph is quiescent; the lock makes the lazy
+        advance race-free regardless).
+        """
+        with self._epoch_lock:
+            self._advance_weight_epochs()
+            return self._weight_epochs.get(subgraph_id, 0)
+
+    def _advance_weight_epochs(self) -> None:
+        """Fold graph changes since the last look into per-subgraph epochs."""
+        current = self._graph.version
+        if current == self._weight_epoch_version:
+            return
+        assert self._partition is not None
+        epochs = self._weight_epochs
+        bumped: Set[int] = set()
+        for u, v, _weight in self._graph.edges_changed_since(
+            self._weight_epoch_version
+        ):
+            for subgraph_id in self._partition.subgraphs_containing_pair(u, v):
+                bumped.add(subgraph_id)
+        for subgraph_id in bumped:
+            epochs[subgraph_id] = epochs.get(subgraph_id, 0) + 1
+        self._weight_epoch_version = current
+
+    def partial_memo_get(
+        self, subgraph_id: int, pair: Tuple[int, int], k: int
+    ) -> Optional[List[Path]]:
+        """Memoised partial k shortest paths for one (subgraph, pair, k).
+
+        Returns ``None`` on a miss or when the stored entry predates the
+        subgraph's current weight epoch.  Hits return the exact paths a
+        fresh computation would produce (Yen is deterministic and the
+        epoch pins the weights), so reuse is invisible in results — it
+        only removes recompute.
+        """
+        entry = self._partial_memo.get((subgraph_id, pair, k))
+        if entry is None:
+            return None
+        epoch, paths = entry
+        if epoch != self.subgraph_weights_epoch(subgraph_id):
+            return None
+        return list(paths)
+
+    def partial_memo_put(
+        self, subgraph_id: int, pair: Tuple[int, int], k: int, paths: Sequence[Path]
+    ) -> None:
+        """Store one partial-KSP result under the subgraph's current epoch."""
+        memo = self._partial_memo
+        if len(memo) >= _PARTIAL_MEMO_LIMIT:
+            try:
+                memo.pop(next(iter(memo)), None)
+            except (StopIteration, RuntimeError):  # racing eviction/clear
+                pass
+        memo[(subgraph_id, pair, k)] = (
+            self.subgraph_weights_epoch(subgraph_id),
+            tuple(paths),
+        )
+
+    def skeleton_snapshot(self) -> CSRSnapshot:
+        """Shared kernel snapshot of the un-augmented skeleton graph.
+
+        Built lazily, refreshed by one graph-version compare (the skeleton
+        itself is unversioned, so maintenance-driven weight changes are
+        detected through the parent graph's version — the same scheme the
+        QueryBolts used per-bolt before this cache centralised it).
+        """
+        if not self._built:
+            raise IndexStateError("DTLP.build() must run before snapshots are read")
+        version = self._graph.version
+        snapshot = self._skeleton_kernel_snapshot
+        if snapshot is None or snapshot.source is not self._skeleton:
+            snapshot = CSRSnapshot(self._skeleton)
+            self._skeleton_kernel_snapshot = snapshot
+            self._skeleton_kernel_version = version
+        elif self._skeleton_kernel_version != version:
+            snapshot.refresh()
+            self._skeleton_kernel_version = version
+        return snapshot
+
+    def skeleton_lower_bounds(self) -> LandmarkLowerBounds:
+        """Shared ALT landmark tables over the un-augmented skeleton.
+
+        Cached per skeleton snapshot and self-invalidating against its
+        weight epoch, so a batch of boundary-endpoint queries (whose
+        reference enumeration runs on the un-augmented skeleton) pays for
+        the tables once per maintenance round instead of once per query.
+        """
+        snapshot = self.skeleton_snapshot()
+        provider = self._skeleton_landmarks
+        if provider is None or provider.snapshot is not snapshot:
+            provider = LandmarkLowerBounds(snapshot)
+            self._skeleton_landmarks = provider
+        return provider
+
+    def subgraph_lower_bounds(self, subgraph_id: int, heuristic: str):
+        """Admissible lower-bound provider for searches inside one subgraph.
+
+        ``heuristic`` selects the provider family (``"landmark"`` or
+        ``"dtlp"``, see :mod:`repro.kernel.heuristics`); ``"none"`` returns
+        ``None``.  Providers are cached per subgraph and self-invalidate
+        when the underlying snapshot's weights change, so a batch of
+        queries over the same subgraph pays for landmark tables once.
+        """
+        if heuristic == "none":
+            return None
+        key = (subgraph_id, heuristic)
+        provider = self._heuristic_providers.get(key)
+        snapshot = self.subgraph_snapshot(subgraph_id)
+        if provider is None or getattr(provider, "snapshot", None) is not snapshot:
+            if heuristic == "landmark":
+                provider = LandmarkLowerBounds(snapshot)
+            else:
+                provider = DTLPLowerBounds(
+                    snapshot, self.subgraph_index(subgraph_id)
+                )
+            self._heuristic_providers[key] = provider
+        return provider
+
+    # ------------------------------------------------------------------
     # build
     # ------------------------------------------------------------------
     def build(
@@ -266,6 +431,14 @@ class DTLP:
             self._partition = partition_graph(self._graph, self._config.z)
         self._subgraph_indexes.clear()
         self._subgraph_snapshots.clear()
+        self._partial_memo.clear()
+        self._heuristic_providers.clear()
+        self._skeleton_kernel_snapshot = None
+        self._skeleton_kernel_version = -1
+        self._skeleton_landmarks = None
+        with self._epoch_lock:
+            self._weight_epochs.clear()
+            self._weight_epoch_version = self._graph.version
         if prebuilt_indexes is not None:
             expected = {s.subgraph_id for s in self._partition.subgraphs}
             if set(prebuilt_indexes) != expected:
@@ -323,6 +496,25 @@ class DTLP:
                 num_bands=self._config.lsh_num_bands,
             )
             self._mfp_forests[subgraph_id] = build_mfp_forest(path_sets, groups)
+
+    # ------------------------------------------------------------------
+    # pickling (process-backend replicas ship the whole index once)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Locks are process-local; caches are cheap to rebuild and pinning
+        # them to the sender's epochs across the pipe buys nothing.
+        state["_epoch_lock"] = None
+        state["_partial_memo"] = {}
+        state["_heuristic_providers"] = {}
+        state["_skeleton_kernel_snapshot"] = None
+        state["_skeleton_kernel_version"] = -1
+        state["_skeleton_landmarks"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._epoch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # maintenance (Algorithm 2)
@@ -418,13 +610,17 @@ class DTLP:
             return self._skeleton.weight(source, target)
         return None
 
-    def attachment_edges(self, vertex: int) -> Dict[int, float]:
+    def attachment_edges(self, vertex: int, kernel: str = "dict") -> Dict[int, float]:
         """Lower-bound edges connecting ``vertex`` to the skeleton graph.
 
         For a boundary vertex the result is empty (it is already part of the
         skeleton graph).  For a non-boundary vertex the result maps each
         boundary vertex of the vertex's subgraph to a lower bound of the
         within-subgraph distance, as required by Section 5.3.
+
+        With ``kernel="snapshot"`` the one-to-many searches run on the
+        shared subgraph snapshots (bit-identical distances, array speed);
+        the default keeps the dict-based reference path.
         """
         assert self._partition is not None
         if self._partition.is_boundary(vertex):
@@ -432,7 +628,10 @@ class DTLP:
         edges: Dict[int, float] = {}
         for subgraph_id in self._partition.subgraphs_of_vertex(vertex):
             index = self._subgraph_indexes[subgraph_id]
-            for boundary, distance in index.lower_bounds_from_vertex(vertex).items():
+            view = self.subgraph_snapshot(subgraph_id) if kernel == "snapshot" else None
+            for boundary, distance in index.lower_bounds_from_vertex(
+                vertex, view=view
+            ).items():
                 current = edges.get(boundary)
                 if current is None or distance < current:
                     edges[boundary] = distance

@@ -40,11 +40,20 @@ from ..algorithms.yen import LazyYen, yen_k_shortest_paths
 from ..graph.errors import PathNotFoundError, QueryError
 from ..graph.paths import Path, merge_paths
 from ..graph.partition import GraphPartition
+from ..kernel.heuristics import HEURISTICS, LandmarkLowerBounds, validate_heuristic
+from ..kernel.primitives import astar_arrays
 from ..kernel.snapshot import CSRSnapshot
 from .dtlp import DTLP
 from .skeleton import SkeletonGraph
 
-__all__ = ["KSPResult", "KSPDGQuery", "KSPDG", "validate_kernel"]
+__all__ = [
+    "KSPResult",
+    "KSPDGQuery",
+    "KSPDG",
+    "validate_kernel",
+    "validate_heuristic",
+    "HEURISTICS",
+]
 
 #: Kernel modes accepted across the query/serving stack: ``"snapshot"``
 #: (array-backed fast path, the default) and ``"dict"`` (the dict-of-dict
@@ -57,6 +66,54 @@ def validate_kernel(kernel: str) -> str:
     if kernel not in KERNELS:
         raise QueryError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
     return kernel
+
+
+def validate_heuristic_for_kernel(heuristic: str, kernel: str) -> str:
+    """Validate a heuristic mode against the selected compute kernel.
+
+    The non-trivial heuristics are dense index-space bound arrays, which
+    only exist on the snapshot kernel; requesting them with the dict
+    reference kernel is a configuration error rather than a silent no-op.
+    """
+    validate_heuristic(heuristic)
+    if heuristic != "none" and kernel != "snapshot":
+        raise QueryError(
+            f"heuristic {heuristic!r} requires the 'snapshot' kernel, got {kernel!r}"
+        )
+    return heuristic
+
+
+def goal_directed_distance(
+    dtlp: DTLP,
+    subgraph_id: int,
+    view,
+    source: int,
+    target: int,
+    heuristic: str,
+    pruning: bool,
+) -> Optional[float]:
+    """Within-subgraph distance probe, shared by KSP-DG and the bolts.
+
+    Distance-only: with a heuristic mode active it runs the goal-directed
+    A* kernel (exact distances are tie-independent, so the f-ordered search
+    cannot perturb results); otherwise the plain early-exit Dijkstra used
+    since PR 2.  Returns ``None`` when the endpoints do not connect within
+    the subgraph ``view``.
+    """
+    if pruning and heuristic != "none" and isinstance(view, CSRSnapshot):
+        provider = dtlp.subgraph_lower_bounds(subgraph_id, heuristic)
+        bounds = provider.bounds_to(target) if provider is not None else None
+        source_index = view.index_of.get(source)
+        target_index = view.index_of.get(target)
+        if source_index is None or target_index is None:
+            return None
+        distance, _, _ = astar_arrays(
+            view.rows, view.num_vertices, source_index, target_index,
+            bounds=bounds,
+        )
+        return None if distance == float("inf") else distance
+    distances, _ = dijkstra(view, source, target=target)
+    return distances.get(target)
 
 
 @dataclass
@@ -78,6 +135,11 @@ class KSPResult:
     partial_computations:
         Number of per-pair partial k-shortest-path computations performed
         (cache misses); a proxy for refine-step work.
+    partial_reused:
+        Number of per-pair partial computations *avoided* because the
+        DTLP's cross-query memo already held the result for the current
+        weight epoch (see ``ARCHITECTURE.md``, "Goal-directed search &
+        pruning").
     elapsed_seconds:
         Wall-clock time of the whole query.
     """
@@ -89,6 +151,7 @@ class KSPResult:
     iterations: int = 0
     reference_paths: List[Path] = field(default_factory=list)
     partial_computations: int = 0
+    partial_reused: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -120,6 +183,8 @@ class KSPDGQuery:
         on_partial: Optional[PartialHook] = None,
         on_merge: Optional[MergeHook] = None,
         kernel: str = "snapshot",
+        heuristic: str = "none",
+        pruning: bool = True,
     ) -> None:
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -130,21 +195,47 @@ class KSPDGQuery:
         self._target = target
         self._k = k
         self._kernel = validate_kernel(kernel)
+        self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
+        self._pruning = pruning
         self._on_reference_path = on_reference_path
         self._on_partial = on_partial
         self._on_merge = on_merge
         self._partial_cache: Dict[Tuple[int, int], List[Path]] = {}
         self._partial_computations = 0
+        self._partial_reused = 0
         self._skeleton = self._augmented_skeleton()
         # One skeleton view per query, reused across every filter iteration:
         # with the snapshot kernel the (possibly augmented) skeleton is
         # flattened once and all reference-path spur searches run on arrays.
-        search_skeleton = (
-            CSRSnapshot(self._skeleton)
-            if self._kernel == "snapshot"
-            else self._skeleton
+        # Un-augmented skeletons (both endpoints are boundary vertices)
+        # reuse the DTLP's shared snapshot and landmark tables across
+        # queries; augmented ones get fresh per-query views, because their
+        # attachment edges create shortcuts the cached tables don't know.
+        augmented = self._skeleton is not dtlp.skeleton_graph
+        if self._kernel != "snapshot":
+            search_skeleton = self._skeleton
+        elif augmented:
+            search_skeleton = CSRSnapshot(self._skeleton)
+        else:
+            search_skeleton = dtlp.skeleton_snapshot()
+        # Landmark bounds over the (augmented) skeleton tighten the
+        # reference-path spur pruning; the DTLP-native provider has no
+        # skeleton equivalent (its bounds live inside subgraphs), so that
+        # mode relies on upper-bound cutoffs alone here.
+        skeleton_bounds = None
+        if (
+            self._pruning
+            and self._heuristic == "landmark"
+            and isinstance(search_skeleton, CSRSnapshot)
+        ):
+            skeleton_bounds = (
+                LandmarkLowerBounds(search_skeleton)
+                if augmented
+                else dtlp.skeleton_lower_bounds()
+            )
+        self._reference_enumerator = LazyYen(
+            search_skeleton, source, target, heuristic=skeleton_bounds
         )
-        self._reference_enumerator = LazyYen(search_skeleton, source, target)
 
     def _subgraph_view(self, subgraph_id: int):
         """The compute view of one subgraph under the selected kernel."""
@@ -161,7 +252,9 @@ class KSPDGQuery:
         attachments: Dict[int, Dict[int, float]] = {}
         for endpoint in (self._source, self._target):
             if not base.has_vertex(endpoint):
-                attachments[endpoint] = self._dtlp.attachment_edges(endpoint)
+                attachments[endpoint] = self._dtlp.attachment_edges(
+                    endpoint, kernel=self._kernel
+                )
         if not attachments:
             return base
         augmented = base.augmented(attachments)
@@ -178,17 +271,24 @@ class KSPDGQuery:
                     # lower_bounds_from_vertex returns distances to boundary
                     # vertices only; compute the direct within-subgraph
                     # distance explicitly.
-                    distances, _ = dijkstra(
-                        self._subgraph_view(subgraph_id), self._source,
-                        target=self._target,
-                    )
-                    if self._target in distances:
-                        value = distances[self._target]
-                        if best is None or value < best:
-                            best = value
+                    value = self._direct_distance(subgraph_id)
+                    if value is not None and (best is None or value < best):
+                        best = value
                 if best is not None:
                     augmented.update_edge_minimum(self._source, self._target, best)
         return augmented
+
+    def _direct_distance(self, subgraph_id: int) -> Optional[float]:
+        """Within-subgraph distance between the endpoints, or ``None``."""
+        return goal_directed_distance(
+            self._dtlp,
+            subgraph_id,
+            self._subgraph_view(subgraph_id),
+            self._source,
+            self._target,
+            self._heuristic,
+            self._pruning,
+        )
 
     # ------------------------------------------------------------------
     # filter step
@@ -238,21 +338,46 @@ class KSPDGQuery:
         return merged or []
 
     def _partial_ksps(self, pair: Tuple[int, int]) -> List[Path]:
-        """Partial k shortest paths for one adjacent boundary-vertex pair."""
+        """Partial k shortest paths for one adjacent boundary-vertex pair.
+
+        Two cache levels: the per-query ``_partial_cache`` (consecutive
+        reference paths share pairs — the paper's optimisation) and, with
+        pruning enabled, the DTLP's cross-query memo keyed by weight epoch
+        — a pair solved by an earlier query this round is not re-solved.
+        """
         if pair in self._partial_cache:
             return self._partial_cache[pair]
         source, target = pair
         subgraph_ids = self._partition.subgraphs_containing_pair(source, target)
+        use_memo = self._pruning
         collected: List[Path] = []
         for subgraph_id in subgraph_ids:
-            subgraph = self._subgraph_view(subgraph_id)
             started = time.perf_counter()
-            try:
-                paths = yen_k_shortest_paths(subgraph, source, target, self._k)
-            except PathNotFoundError:
-                paths = []
+            paths = (
+                self._dtlp.partial_memo_get(subgraph_id, pair, self._k)
+                if use_memo
+                else None
+            )
+            if paths is None:
+                subgraph = self._subgraph_view(subgraph_id)
+                heuristic = (
+                    self._dtlp.subgraph_lower_bounds(subgraph_id, self._heuristic)
+                    if self._pruning and isinstance(subgraph, CSRSnapshot)
+                    else None
+                )
+                try:
+                    paths = yen_k_shortest_paths(
+                        subgraph, source, target, self._k,
+                        prune=self._pruning, heuristic=heuristic,
+                    )
+                except PathNotFoundError:
+                    paths = []
+                if use_memo:
+                    self._dtlp.partial_memo_put(subgraph_id, pair, self._k, paths)
+                self._partial_computations += 1
+            else:
+                self._partial_reused += 1
             elapsed = time.perf_counter() - started
-            self._partial_computations += 1
             if self._on_partial is not None:
                 self._on_partial(subgraph_id, pair, elapsed)
             collected.extend(paths)
@@ -307,20 +432,27 @@ class KSPDGQuery:
                 top_paths.append(candidate)
             top_paths.sort()
             del top_paths[self._k:]
-            next_reference = self.next_reference_path()
-            if next_reference is None:
-                break
             kth_distance = (
                 top_paths[self._k - 1].distance
                 if len(top_paths) >= self._k
                 else float("inf")
             )
+            if self._pruning and top_paths:
+                # Theorem 3 stops the iteration at the first reference path
+                # no shorter than the k-th candidate — reference paths
+                # beyond that bound are dead weight, so the enumerator may
+                # prune the spur searches that would produce them.
+                self._reference_enumerator.set_upper_bound(kth_distance)
+            next_reference = self.next_reference_path()
+            if next_reference is None:
+                break
             if top_paths and kth_distance <= next_reference.distance:
                 # Termination condition of Theorem 3.
                 break
             reference = next_reference
         result.paths = top_paths
         result.partial_computations = self._partial_computations
+        result.partial_reused = self._partial_reused
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -340,11 +472,19 @@ class KSPDG:
     3
     """
 
-    def __init__(self, dtlp: DTLP, kernel: str = "snapshot") -> None:
+    def __init__(
+        self,
+        dtlp: DTLP,
+        kernel: str = "snapshot",
+        heuristic: str = "none",
+        pruning: bool = True,
+    ) -> None:
         if not dtlp.built:
             raise QueryError("the DTLP index must be built before creating KSPDG")
         self._dtlp = dtlp
         self._kernel = validate_kernel(kernel)
+        self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
+        self._pruning = pruning
 
     @property
     def dtlp(self) -> DTLP:
@@ -355,6 +495,21 @@ class KSPDG:
     def kernel(self) -> str:
         """Compute kernel answering queries (``"snapshot"`` or ``"dict"``)."""
         return self._kernel
+
+    @property
+    def heuristic(self) -> str:
+        """Lower-bound heuristic pruning the searches (``"none"`` disables)."""
+        return self._heuristic
+
+    @property
+    def pruning(self) -> bool:
+        """Whether bound-based pruning and cross-query reuse are active.
+
+        ``False`` restores the exact pre-pruning code path — kept as the
+        benchmark baseline (``benchmarks/test_pruning_speedup.py``); results
+        are bit-identical either way.
+        """
+        return self._pruning
 
     def query(
         self,
@@ -383,6 +538,8 @@ class KSPDG:
             on_partial=on_partial,
             on_merge=on_merge,
             kernel=self._kernel,
+            heuristic=self._heuristic,
+            pruning=self._pruning,
         )
         return query.run()
 

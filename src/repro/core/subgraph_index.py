@@ -305,7 +305,7 @@ class SubgraphIndex:
                 result[key] = value
         return result
 
-    def lower_bounds_from_vertex(self, vertex: int) -> Dict[int, float]:
+    def lower_bounds_from_vertex(self, vertex: int, view=None) -> Dict[int, float]:
         """Lower bounds from an arbitrary vertex to each boundary vertex.
 
         Used by Step 1 of the Storm deployment (Section 6.1) when a query's
@@ -313,12 +313,21 @@ class SubgraphIndex:
         virtually attached to the skeleton graph with edges to the boundary
         vertices of its subgraph.  The within-subgraph shortest distance is
         used, which is the tightest valid lower bound (Definition 6, case 1).
+
+        The search is one-to-many: it terminates as soon as the last
+        reachable boundary vertex settles instead of flooding the whole
+        subgraph.  ``view`` optionally substitutes a kernel view of the
+        same subgraph (a :class:`~repro.kernel.snapshot.CSRSnapshot` from
+        the DTLP's shared cache) so the search runs on the array kernel;
+        results are bit-identical to the dict path.
         """
         from ..algorithms.dijkstra import dijkstra
 
-        distances, _ = dijkstra(self._subgraph, vertex)
+        boundary = self._subgraph.boundary_vertices
+        distances, _ = dijkstra(view if view is not None else self._subgraph,
+                                vertex, targets=set(boundary))
         return {
-            boundary: distances[boundary]
-            for boundary in self._subgraph.boundary_vertices
-            if boundary in distances and boundary != vertex
+            vertex_id: distances[vertex_id]
+            for vertex_id in boundary
+            if vertex_id in distances and vertex_id != vertex
         }

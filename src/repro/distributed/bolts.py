@@ -43,13 +43,17 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..algorithms.dijkstra import dijkstra
 from ..algorithms.yen import LazyYen, yen_k_shortest_paths
 from ..core.dtlp import DTLP
-from ..core.ksp_dg import validate_kernel
+from ..core.ksp_dg import (
+    goal_directed_distance,
+    validate_heuristic_for_kernel,
+    validate_kernel,
+)
 from ..graph.errors import ClusterError, PathNotFoundError
 from ..graph.graph import WeightUpdate
 from ..graph.paths import Path, merge_paths
+from ..kernel.heuristics import LandmarkLowerBounds
 from ..kernel.snapshot import CSRSnapshot
 from ..workloads.queries import KSPQuery
 from .cluster import SimulatedCluster
@@ -68,6 +72,8 @@ class SubgraphBolt:
         dtlp: DTLP,
         subgraph_ids: Sequence[int],
         kernel: str = "snapshot",
+        heuristic: str = "none",
+        pruning: bool = True,
     ) -> None:
         self.name = name
         self.worker_id = worker_id
@@ -75,6 +81,8 @@ class SubgraphBolt:
         self._dtlp = dtlp
         self._partition = dtlp.partition
         self._kernel = validate_kernel(kernel)
+        self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
+        self._pruning = pruning
         self.subgraph_ids: Set[int] = set(subgraph_ids)
         worker = cluster.worker(worker_id)
         worker.host(name)
@@ -99,12 +107,18 @@ class SubgraphBolt:
 
         Called by the topology before a concurrent batch so that every
         snapshot is already current and all accesses during the batch are
-        read-only (refresh would otherwise race between tasks).
+        read-only (refresh would otherwise race between tasks).  With a
+        heuristic mode active the per-subgraph lower-bound providers are
+        warmed here too — landmark tables are expensive enough that two
+        threads lazily building them for the same subgraph mid-batch would
+        duplicate real work.
         """
         if self._kernel != "snapshot":
             return
         for subgraph_id in self.subgraph_ids:
             self._dtlp.subgraph_snapshot(subgraph_id)
+            if self._pruning and self._heuristic != "none":
+                self._dtlp.subgraph_lower_bounds(subgraph_id, self._heuristic)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -134,6 +148,15 @@ class SubgraphBolt:
         the subgraphs owned by this bolt contains both vertices, Yen's
         algorithm is run inside those subgraphs and the best ``k`` results
         per pair are returned.
+
+        With pruning enabled, per-(subgraph, pair, k) results are reused
+        across queries and refinement rounds through the DTLP's weight-epoch
+        memo, and fresh computations run with upper-bound pruning plus the
+        configured lower-bound heuristic.  Reused results are bit-identical
+        to recomputation, and every subgraph still receives exactly one
+        ``charge_subgraph`` per served pair, so the deterministic load
+        telemetry (``subgraph_tasks``) and message accounting stay identical
+        on every execution backend regardless of memo warmth.
         """
         started = time.perf_counter()
         results: Dict[Tuple[int, int], List[Path]] = {}
@@ -146,12 +169,34 @@ class SubgraphBolt:
                 continue
             collected: List[Path] = []
             for subgraph_id in local_owners:
-                subgraph = self._subgraph_view(subgraph_id)
                 sub_started = time.perf_counter()
                 try:
-                    collected.extend(yen_k_shortest_paths(subgraph, pair[0], pair[1], k))
-                except PathNotFoundError:
-                    continue
+                    memo = (
+                        self._dtlp.partial_memo_get(subgraph_id, pair, k)
+                        if self._pruning
+                        else None
+                    )
+                    if memo is not None:
+                        collected.extend(memo)
+                        continue
+                    subgraph = self._subgraph_view(subgraph_id)
+                    heuristic = (
+                        self._dtlp.subgraph_lower_bounds(subgraph_id, self._heuristic)
+                        if self._pruning and isinstance(subgraph, CSRSnapshot)
+                        else None
+                    )
+                    try:
+                        paths = yen_k_shortest_paths(
+                            subgraph, pair[0], pair[1], k,
+                            prune=self._pruning, heuristic=heuristic,
+                        )
+                    except PathNotFoundError:
+                        paths = []
+                    if self._pruning:
+                        self._dtlp.partial_memo_put(subgraph_id, pair, k, paths)
+                    if not paths:
+                        continue
+                    collected.extend(paths)
                 finally:
                     self._cluster.worker(self.worker_id).charge_subgraph(
                         subgraph_id, time.perf_counter() - sub_started
@@ -186,7 +231,14 @@ class SubgraphBolt:
                 continue
             sub_started = time.perf_counter()
             index = self._dtlp.subgraph_index(subgraph_id)
-            for boundary, distance in index.lower_bounds_from_vertex(vertex).items():
+            view = (
+                self._dtlp.subgraph_snapshot(subgraph_id)
+                if self._kernel == "snapshot"
+                else None
+            )
+            for boundary, distance in index.lower_bounds_from_vertex(
+                vertex, view=view
+            ).items():
                 current = bounds.get(boundary)
                 if current is None or distance < current:
                     bounds[boundary] = distance
@@ -197,7 +249,13 @@ class SubgraphBolt:
         return bounds
 
     def direct_distance(self, source: int, target: int) -> Optional[float]:
-        """Within-subgraph distance between two vertices sharing an owned subgraph."""
+        """Within-subgraph distance between two vertices sharing an owned subgraph.
+
+        Distance-only probe: with a heuristic mode active it runs the
+        goal-directed A* kernel (exact distances are tie-independent, so the
+        f-ordered search cannot perturb results); otherwise the plain
+        early-exit Dijkstra.
+        """
         started = time.perf_counter()
         best: Optional[float] = None
         for subgraph_id in self.subgraph_ids:
@@ -205,11 +263,17 @@ class SubgraphBolt:
             if source not in subgraph.vertices or target not in subgraph.vertices:
                 continue
             sub_started = time.perf_counter()
-            distances, _ = dijkstra(self._subgraph_view(subgraph_id), source, target=target)
-            if target in distances:
-                value = distances[target]
-                if best is None or value < best:
-                    best = value
+            value = goal_directed_distance(
+                self._dtlp,
+                subgraph_id,
+                self._subgraph_view(subgraph_id),
+                source,
+                target,
+                self._heuristic,
+                self._pruning,
+            )
+            if value is not None and (best is None or value < best):
+                best = value
             self._cluster.worker(self.worker_id).charge_subgraph(
                 subgraph_id, time.perf_counter() - sub_started
             )
@@ -229,6 +293,8 @@ class QueryBolt:
         subgraph_bolts: Sequence[SubgraphBolt],
         k_default: int = 2,
         kernel: str = "snapshot",
+        heuristic: str = "none",
+        pruning: bool = True,
     ) -> None:
         self.name = name
         self.worker_id = worker_id
@@ -238,11 +304,8 @@ class QueryBolt:
         self._subgraph_bolts = list(subgraph_bolts)
         self._k_default = k_default
         self._kernel = validate_kernel(kernel)
-        # Cached kernel view of the un-augmented skeleton replica, keyed by
-        # the graph version it was refreshed at (maintenance bumps the
-        # version, so a stale replica is detected with one int compare).
-        self._skeleton_snapshot: Optional[CSRSnapshot] = None
-        self._skeleton_version: int = -1
+        self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
+        self._pruning = pruning
         worker = cluster.worker(worker_id)
         worker.host(name)
         worker.charge_memory(dtlp.skeleton_graph.memory_estimate_bytes())
@@ -263,11 +326,15 @@ class QueryBolt:
         """Build/refresh the shared skeleton-replica snapshot, serially.
 
         Called by the topology before a concurrent batch; afterwards the
-        replica snapshot is current for the batch's graph version, so
-        :meth:`_skeleton_view` never mutates it mid-batch.
+        shared snapshot (hosted on the DTLP, one per process) is current
+        for the batch's graph version, so :meth:`_skeleton_view` never
+        mutates it mid-batch.  In landmark mode the shared landmark tables
+        are warmed here too, so concurrent queries only ever read them.
         """
         if self._kernel == "snapshot":
-            self._skeleton_view(self._dtlp.skeleton_graph)
+            self._dtlp.skeleton_snapshot()
+            if self._pruning and self._heuristic == "landmark":
+                self._dtlp.skeleton_lower_bounds()
 
     # ------------------------------------------------------------------
     # query processing (Step 2 of Figure 14)
@@ -300,7 +367,16 @@ class QueryBolt:
         search_skeleton = (
             self._skeleton_view(skeleton) if self._kernel == "snapshot" else skeleton
         )
-        enumerator = LazyYen(search_skeleton, query.source, query.target)
+        skeleton_bounds = None
+        if (
+            self._pruning
+            and self._heuristic == "landmark"
+            and isinstance(search_skeleton, CSRSnapshot)
+        ):
+            skeleton_bounds = self._skeleton_bounds(search_skeleton)
+        enumerator = LazyYen(
+            search_skeleton, query.source, query.target, heuristic=skeleton_bounds
+        )
         worker.charge_compute(time.perf_counter() - started)
 
         top_paths: List[Path] = []
@@ -352,14 +428,19 @@ class QueryBolt:
             del top_paths[query.k:]
             worker.charge_compute(time.perf_counter() - merge_start)
 
-            next_reference = self._next_reference(enumerator, worker)
-            if next_reference is None:
-                break
             kth = (
                 top_paths[query.k - 1].distance
                 if len(top_paths) >= query.k
                 else float("inf")
             )
+            if self._pruning and top_paths:
+                # Theorem 3 stops the loop at the first reference path no
+                # shorter than the k-th candidate; longer reference paths
+                # are never consumed, so the enumerator may prune them.
+                enumerator.set_upper_bound(kth)
+            next_reference = self._next_reference(enumerator, worker)
+            if next_reference is None:
+                break
             if top_paths and kth <= next_reference.distance:
                 break
             reference = next_reference
@@ -371,24 +452,29 @@ class QueryBolt:
             iterations=iterations,
         )
 
+    def _skeleton_bounds(self, search_skeleton: CSRSnapshot):
+        """Landmark lower bounds for reference searches on ``search_skeleton``.
+
+        The shared replica snapshot uses the DTLP's process-wide landmark
+        tables (amortised across every QueryBolt and every query);
+        per-query augmented snapshots get a fresh provider, whose tables
+        the query's many spur searches amortise on their own.
+        """
+        if search_skeleton.source is self._dtlp.skeleton_graph:
+            return self._dtlp.skeleton_lower_bounds()
+        return LandmarkLowerBounds(search_skeleton)
+
     def _skeleton_view(self, skeleton) -> CSRSnapshot:
         """Kernel view of ``skeleton`` for this query's reference searches.
 
         Per-query augmented skeletons get a fresh (small) snapshot; the
-        shared un-augmented replica is snapshotted once and reused across
-        micro-batches, re-read only after maintenance changed the graph
-        version.
+        shared un-augmented replica uses the DTLP-hosted snapshot (one per
+        process, shared by every QueryBolt), re-read only after
+        maintenance changed the graph version.
         """
         if skeleton is not self._dtlp.skeleton_graph:
             return CSRSnapshot(skeleton)
-        version = self._dtlp.graph.version
-        if self._skeleton_snapshot is None:
-            self._skeleton_snapshot = CSRSnapshot(skeleton)
-            self._skeleton_version = version
-        elif self._skeleton_version != version:
-            self._skeleton_snapshot.refresh()
-            self._skeleton_version = version
-        return self._skeleton_snapshot
+        return self._dtlp.skeleton_snapshot()
 
     def _next_reference(self, enumerator: LazyYen, worker) -> Optional[Path]:
         started = time.perf_counter()

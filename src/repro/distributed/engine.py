@@ -52,6 +52,8 @@ class KSPDGEngine:
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
         rebalance: Union[None, bool, float, str] = None,
+        heuristic: str = "none",
+        pruning: bool = True,
     ) -> "KSPDGEngine":
         """Build an engine on a fresh simulated topology over ``dtlp``.
 
@@ -60,9 +62,10 @@ class KSPDGEngine:
         through the graph (and propagated with ``dtlp.attach()``) are
         immediately visible to subsequent queries.  ``kernel`` selects the
         compute path of the bolts (array snapshots by default),
-        ``executor`` the physical backend running query batches, and
+        ``executor`` the physical backend running query batches,
         ``rebalance`` enables load-adaptive placement with live subgraph
-        migration (see ``ARCHITECTURE.md``).
+        migration, and ``heuristic``/``pruning`` configure the
+        goal-directed pruned query kernel (see ``ARCHITECTURE.md``).
         """
         return cls(
             StormTopology(
@@ -72,6 +75,8 @@ class KSPDGEngine:
                 executor=executor,
                 executor_workers=executor_workers,
                 rebalance=rebalance,
+                heuristic=heuristic,
+                pruning=pruning,
             )
         )
 
@@ -89,6 +94,11 @@ class KSPDGEngine:
     def executor_name(self) -> str:
         """Execution backend of the underlying topology."""
         return self._topology.executor.name
+
+    @property
+    def heuristic(self) -> str:
+        """Lower-bound heuristic of the underlying topology."""
+        return self._topology.heuristic
 
     def answer(self, query: KSPQuery) -> QueryOutcome:
         """Answer one query (used by the generic batch runner).

@@ -80,6 +80,9 @@ class TopologyBundle:
     #: Master graph version at bundle time (sync baseline, informational —
     #: the master tracks the authoritative baseline itself).
     graph_version: int
+    #: Goal-directed pruning configuration (mirrors the master topology's).
+    heuristic: str = "none"
+    pruning: bool = True
 
 
 class TopologyReplica:
@@ -89,6 +92,8 @@ class TopologyReplica:
         self._dtlp = bundle.dtlp
         self._graph = bundle.dtlp.graph
         self._kernel = bundle.kernel
+        self._heuristic = bundle.heuristic
+        self._pruning = bundle.pruning
         self._cluster = SimulatedCluster(bundle.num_workers)
         self._account = ClusterAccountant(self._cluster)
         self._subgraph_bolts = [
@@ -99,6 +104,8 @@ class TopologyReplica:
                 dtlp=self._dtlp,
                 subgraph_ids=subgraph_ids,
                 kernel=bundle.kernel,
+                heuristic=bundle.heuristic,
+                pruning=bundle.pruning,
             )
             for name, worker_id, subgraph_ids in bundle.subgraph_bolts
         ]
@@ -110,6 +117,8 @@ class TopologyReplica:
                 dtlp=self._dtlp,
                 subgraph_bolts=self._subgraph_bolts,
                 kernel=bundle.kernel,
+                heuristic=bundle.heuristic,
+                pruning=bundle.pruning,
             )
             for name, worker_id in bundle.query_bolts
         ]
@@ -183,6 +192,8 @@ class TopologyReplica:
                     dtlp=self._dtlp,
                     subgraph_bolts=self._subgraph_bolts,
                     kernel=self._kernel,
+                    heuristic=self._heuristic,
+                    pruning=self._pruning,
                 )
             ]
         self._rebuild_spout()

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.dtlp import DTLP
-from ..core.ksp_dg import validate_kernel
+from ..core.ksp_dg import validate_heuristic_for_kernel, validate_kernel
 from ..exec import Executor, ReplicaSet, resolve_executor
 from ..graph.errors import ClusterError
 from ..graph.graph import WeightUpdate
@@ -149,6 +149,8 @@ class StormTopology:
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
         rebalance: Union[None, bool, float, str, RebalanceConfig] = None,
+        heuristic: str = "none",
+        pruning: bool = True,
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
@@ -156,6 +158,8 @@ class StormTopology:
             raise ClusterError("query_bolts_per_worker must be at least 1")
         self._dtlp = dtlp
         self._kernel = validate_kernel(kernel)
+        self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
+        self._pruning = pruning
         self._cluster = SimulatedCluster(num_workers)
         # All bolt/spout charges route through the accountant so that the
         # concurrent backends can divert each query into a private ledger;
@@ -192,6 +196,8 @@ class StormTopology:
                 dtlp=dtlp,
                 subgraph_ids=self._placement.subgraphs_on(worker_id),
                 kernel=self._kernel,
+                heuristic=self._heuristic,
+                pruning=self._pruning,
             )
             self._subgraph_bolts.append(bolt)
 
@@ -205,6 +211,8 @@ class StormTopology:
                     dtlp=dtlp,
                     subgraph_bolts=self._subgraph_bolts,
                     kernel=self._kernel,
+                    heuristic=self._heuristic,
+                    pruning=self._pruning,
                 )
                 self._query_bolts.append(bolt)
 
@@ -232,6 +240,16 @@ class StormTopology:
     def kernel(self) -> str:
         """Compute kernel used by the bolts (``"snapshot"`` or ``"dict"``)."""
         return self._kernel
+
+    @property
+    def heuristic(self) -> str:
+        """Lower-bound heuristic pruning the bolts' searches (``"none"`` off)."""
+        return self._heuristic
+
+    @property
+    def pruning(self) -> bool:
+        """Whether bound pruning and cross-query reuse are active."""
+        return self._pruning
 
     @property
     def placement(self) -> Placement:
@@ -347,6 +365,8 @@ class StormTopology:
                     dtlp=self._dtlp,
                     subgraph_bolts=self._subgraph_bolts,
                     kernel=self._kernel,
+                    heuristic=self._heuristic,
+                    pruning=self._pruning,
                 )
             ]
         self._rebuild_spout()
@@ -547,6 +567,8 @@ class StormTopology:
         return TopologyBundle(
             dtlp=self._dtlp,
             kernel=self._kernel,
+            heuristic=self._heuristic,
+            pruning=self._pruning,
             num_workers=self._cluster.num_workers,
             subgraph_bolts=[
                 (bolt.name, bolt.worker_id, tuple(sorted(bolt.subgraph_ids)))

@@ -19,7 +19,30 @@ dict-based reference path) or a snapshot (the fast path) and produce
 bit-identical results for both.
 """
 
-from .primitives import dijkstra_arrays, reconstruct_indices
+from .heuristics import (
+    HEURISTICS,
+    DTLPLowerBounds,
+    LandmarkLowerBounds,
+    validate_heuristic,
+)
+from .primitives import (
+    astar_arrays,
+    bounded_dijkstra_arrays,
+    dijkstra_arrays,
+    dijkstra_arrays_multi,
+    reconstruct_indices,
+)
 from .snapshot import CSRSnapshot
 
-__all__ = ["CSRSnapshot", "dijkstra_arrays", "reconstruct_indices"]
+__all__ = [
+    "CSRSnapshot",
+    "HEURISTICS",
+    "DTLPLowerBounds",
+    "LandmarkLowerBounds",
+    "validate_heuristic",
+    "astar_arrays",
+    "bounded_dijkstra_arrays",
+    "dijkstra_arrays",
+    "dijkstra_arrays_multi",
+    "reconstruct_indices",
+]

@@ -25,9 +25,15 @@ See ``ARCHITECTURE.md`` for how the layers fit together.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["dijkstra_arrays", "reconstruct_indices"]
+__all__ = [
+    "dijkstra_arrays",
+    "dijkstra_arrays_multi",
+    "bounded_dijkstra_arrays",
+    "astar_arrays",
+    "reconstruct_indices",
+]
 
 _INF = float("inf")
 
@@ -116,9 +122,12 @@ def dijkstra_arrays(
 
     # Constrained variant (spur searches): ban tests mirror the reference
     # implementation's order so the relaxation sequence stays identical.
+    # Early exit at target settlement applies here exactly as in the
+    # unconstrained loops — spur searches supply both a target and ban
+    # sets, and must never pay for settling the rest of the graph.
     banned_v = banned_vertices if banned_vertices is not None else ()
     banned_p = banned_pairs if banned_pairs is not None else ()
-    touched = [source]
+    touched = [source] if track_touched else None
     while heap:
         d, u = heappop(heap)
         if d > dist[u]:
@@ -134,12 +143,205 @@ def dijkstra_arrays(
                 continue
             nd = d + w
             if nd < dist[v]:
-                if dist[v] == _INF:
+                if touched is not None and dist[v] == _INF:
                     touched.append(v)
                 dist[v] = nd
                 pred[v] = u
                 heappush(heap, (nd, v))
     return dist, pred, touched
+
+
+def dijkstra_arrays_multi(
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    targets: Iterable[int],
+) -> Tuple[List[float], List[int], List[int], List[int]]:
+    """One-to-many Dijkstra: settle until *every* target is settled.
+
+    Single source, a set of targets: the search runs exactly like the
+    unconstrained :func:`dijkstra_arrays` loop but stops as soon as the last
+    target pops fresh, collapsing ``len(targets)`` point-to-point searches
+    into one run.  Relaxation order is a prefix of the full run's, so the
+    distances and predecessors of every *settled* vertex — in particular of
+    every reachable target — are bit-identical to a full single-source
+    Dijkstra.
+
+    Returns ``(dist, pred, settled_targets, touched)`` where
+    ``settled_targets`` lists the target indices that were settled
+    (reachable from the source), in settle order, and ``touched`` lists
+    every labelled index (source first) so callers can rebuild id-space
+    dictionaries in O(labelled).  Entries of ``dist``/``pred`` for
+    labelled-but-unsettled vertices are tentative; callers must only rely
+    on settled targets and the predecessor chains leading to them (every
+    vertex on a shortest path to a settled target is itself settled).
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    remaining = set(targets)
+    settled_targets: List[int] = []
+    touched: List[int] = [source]
+    if source in remaining:
+        remaining.discard(source)
+        settled_targets.append(source)
+    if not remaining:
+        return dist, pred, settled_targets, touched
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        if u in remaining:
+            remaining.discard(u)
+            settled_targets.append(u)
+            if not remaining:
+                break
+        for v, w in rows[u]:
+            nd = d + w
+            if nd < dist[v]:
+                if dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+    return dist, pred, settled_targets, touched
+
+
+def bounded_dijkstra_arrays(
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int,
+    bounds: Optional[Sequence[float]] = None,
+    cutoff: float = _INF,
+    allowed: Optional[Set[int]] = None,
+    banned_vertices: Optional[Set[int]] = None,
+    banned_pairs: Optional[Set[Tuple[int, int]]] = None,
+    track_touched: bool = False,
+) -> Tuple[List[float], List[int], bool, Optional[List[int]]]:
+    """Goal-directed *bound-pruned* Dijkstra (order-preserving, exact paths).
+
+    The pruned counterpart of the spur-search configuration of
+    :func:`dijkstra_arrays`: an admissible per-vertex lower bound to the
+    target (``bounds[v] <= dist(v, target)``, with ``bounds[target] == 0``)
+    plus an upper bound ``cutoff`` on the acceptable source→target distance.
+    A relaxation is *discarded at push time* when its best possible total,
+    ``g(v) + bounds[v]``, strictly exceeds ``cutoff`` — it provably cannot
+    lie on a source→target path of distance ``<= cutoff``.
+
+    Unlike classical A*, the heap keys stay plain ``(g, v)``: the heuristic
+    prunes but never *reorders* the search.  That is what makes the result
+    bit-identical to the unpruned search even on graphs with distance ties
+    (this repository's road networks have integer base weights): every
+    vertex on the unpruned run's returned path satisfies
+    ``g(v) + bounds(v) <= g(v) + dist(v, target) <= dist(source, target)
+    <= cutoff`` and therefore survives pruning with its exact ``g`` and
+    predecessor, and the relative pop order of surviving heap entries is
+    unchanged because their keys are unchanged.  Classical f-ordered A*
+    (:func:`astar_arrays`) settles fewer vertices but may return a
+    different — equally short — path on ties, so the query stack uses it
+    only where the *distance* alone is consumed.
+
+    Returns ``(dist, pred, found, touched)``; ``found`` is ``True`` iff the
+    target was settled, in which case ``dist[target]`` is its exact
+    distance (necessarily ``<= cutoff`` up to the pruning rule: a target
+    whose true distance exceeds ``cutoff`` is reported unreachable).
+    ``touched`` lists the labelled indices (source first) when
+    ``track_touched`` is ``True`` — callers rebuilding id-space
+    dictionaries stay O(labelled) instead of O(V) — and is ``None``
+    otherwise (the lean spur-search configuration).
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    banned_v = banned_vertices if banned_vertices is not None else ()
+    banned_p = banned_pairs if banned_pairs is not None else ()
+    touched: Optional[List[int]] = [source] if track_touched else None
+    found = False
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        if u == target:
+            found = True
+            break
+        for v, w in rows[u]:
+            if v in banned_v:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            if banned_p and (u, v) in banned_p:
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                if bounds is None:
+                    if nd > cutoff:
+                        continue
+                elif nd + bounds[v] > cutoff:
+                    continue
+                if touched is not None and dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+    return dist, pred, found, touched
+
+
+def astar_arrays(
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int,
+    bounds: Optional[Sequence[float]] = None,
+    cutoff: float = _INF,
+) -> Tuple[float, List[float], List[int]]:
+    """Classical A* over snapshot rows: heap ordered by ``f = g + bounds[v]``.
+
+    ``bounds`` must be an *admissible* per-vertex lower bound of the
+    distance to ``target`` (``bounds[target] == 0``); with ``bounds=None``
+    this degenerates to plain early-exit Dijkstra.  Because the stale-entry
+    scheme re-expands a vertex whenever its tentative distance improves,
+    admissibility alone (without consistency) suffices for the returned
+    *distance* to be exact.
+
+    The settle order — and therefore the predecessor choice among
+    equal-length shortest paths — differs from Dijkstra's, so the query
+    stack calls this only for *distance-only* probes (e.g. the direct
+    within-subgraph distance feeding skeleton augmentation), where ties
+    cannot leak into results.  Path-returning searches use
+    :func:`bounded_dijkstra_arrays` instead.
+
+    Returns ``(distance, dist, pred)``; ``distance`` is ``inf`` when the
+    target is unreachable (or only reachable above ``cutoff``).
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    start_f = bounds[source] if bounds is not None else 0.0
+    if start_f > cutoff:
+        return _INF, dist, pred
+    # Heap entries are (f, g, vertex): f orders the search, g drives the
+    # stale-entry test without re-deriving it from f (float subtraction
+    # would reintroduce rounding).
+    heap: List[Tuple[float, float, int]] = [(start_f, 0.0, source)]
+    while heap:
+        f, g, u = heappop(heap)
+        if g > dist[u]:
+            continue
+        if u == target:
+            return g, dist, pred
+        for v, w in rows[u]:
+            ng = g + w
+            if ng < dist[v]:
+                nf = ng + (bounds[v] if bounds is not None else 0.0)
+                if nf > cutoff:
+                    continue
+                dist[v] = ng
+                pred[v] = u
+                heappush(heap, (nf, ng, v))
+    return _INF, dist, pred
 
 
 def reconstruct_indices(pred: Sequence[int], source: int, target: int) -> List[int]:

@@ -84,6 +84,7 @@ class CSRSnapshot:
         "_version_source",
         "_built_version",
         "_arc_pos",
+        "_weights_epoch",
     )
 
     def __init__(self, source) -> None:
@@ -127,6 +128,7 @@ class CSRSnapshot:
         self._built_version: int = (
             self._version_source.version if self._version_source is not None else 0
         )
+        self._weights_epoch: int = 0
 
     # ------------------------------------------------------------------
     # structure accessors
@@ -140,6 +142,18 @@ class CSRSnapshot:
     def version(self) -> int:
         """Source-graph version the current weights correspond to."""
         return self._built_version
+
+    @property
+    def weights_epoch(self) -> int:
+        """Counter advanced every time :meth:`refresh` rewrote any weight.
+
+        Unlike :attr:`version` (which tracks the *source graph's* version
+        and advances even when none of the changed edges belong to this
+        snapshot), the epoch moves only when this snapshot's weights
+        actually changed — the invalidation key used by derived caches
+        (heuristic lower-bound tables, partial-KSP memos).
+        """
+        return self._weights_epoch
 
     @property
     def num_vertices(self) -> int:
@@ -239,10 +253,17 @@ class CSRSnapshot:
         if versioned is None:
             source = self._source
             ids = self.ids
+            changed_rows = set()
             for (ui, vi), pos in arc_pos.items():
-                weights[pos] = source.weight(ids[ui], ids[vi])
-            self._rebuild_rows(range(len(ids)))
-            return len(arc_pos)
+                value = source.weight(ids[ui], ids[vi])
+                if value != weights[pos]:
+                    weights[pos] = value
+                    changed_rows.add(ui)
+                    rewritten += 1
+            self._rebuild_rows(changed_rows)
+            if rewritten:
+                self._weights_epoch += 1
+            return rewritten
         current = versioned.version
         if current == self._built_version:
             return 0
@@ -268,6 +289,8 @@ class CSRSnapshot:
                     rewritten += 1
         self._rebuild_rows(stale_rows)
         self._built_version = current
+        if rewritten:
+            self._weights_epoch += 1
         return rewritten
 
     def _rebuild_rows(self, row_indices) -> None:

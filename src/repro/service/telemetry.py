@@ -69,6 +69,7 @@ class ServiceReport:
     cache_full_flushes: int
     cache_stale_rejections: int
     kernel: str = "dict"
+    heuristic: str = "none"
     rebalances: int = 0
     subgraphs_migrated: int = 0
 
@@ -77,6 +78,7 @@ class ServiceReport:
         return {
             "engine": self.engine_name,
             "kernel": self.kernel,
+            "heuristic": self.heuristic,
             "graph version": self.graph_version,
             "queries served": self.queries_served,
             "unique computations": self.unique_computations,
@@ -164,6 +166,7 @@ class ServiceTelemetry:
         cache_full_flushes: int,
         cache_stale_rejections: int = 0,
         kernel: str = "dict",
+        heuristic: str = "none",
         rebalances: int = 0,
         subgraphs_migrated: int = 0,
     ) -> ServiceReport:
@@ -201,6 +204,7 @@ class ServiceTelemetry:
             cache_full_flushes=cache_full_flushes,
             cache_stale_rejections=cache_stale_rejections,
             kernel=kernel,
+            heuristic=heuristic,
             rebalances=rebalances,
             subgraphs_migrated=subgraphs_migrated,
         )

@@ -127,19 +127,25 @@ class QueryEngine(Protocol):
 class _EngineReplica:
     """Resident state of one centralized engine inside an executor worker.
 
-    Built once from a pickled ``(engine class, graph, kernel)`` bundle;
+    Built once from a pickled ``(engine class, graph, kernel, prune)``
+    bundle;
     afterwards only weight-update deltas (:meth:`sync`) and query envelopes
     (:meth:`answer_many`) cross the process boundary, and the replica's
     kernel snapshot refreshes incrementally off its own graph copy.
     """
 
-    def __init__(self, bundle: Tuple[Type["_CentralizedEngine"], DynamicGraph, str]) -> None:
-        engine_cls, graph, kernel = bundle
+    def __init__(
+        self,
+        bundle: Tuple[Type["_CentralizedEngine"], DynamicGraph, str, bool],
+    ) -> None:
+        engine_cls, graph, kernel, prune = bundle
         self._graph = graph
         # Pin the inner engine to serial: the replica already *is* the
         # parallelism, and resolving $REPRO_EXECUTOR here would nest
         # executors inside worker processes.
-        self._engine = engine_cls(graph, kernel=kernel, executor="serial")
+        self._engine = engine_cls(
+            graph, kernel=kernel, executor="serial", prune=prune
+        )
 
     def sync(self, updates: Sequence[WeightUpdate]) -> int:
         """Apply a coalesced weight-update delta; returns the new version."""
@@ -185,9 +191,16 @@ class _CentralizedEngine:
         kernel: str = "snapshot",
         executor: Union[str, Executor, None] = None,
         executor_workers: int = 2,
+        prune: bool = True,
     ) -> None:
         self._graph = graph
         self.kernel = validate_kernel(kernel)
+        # Upper-bound pruning of the KSP enumeration (bit-identical output;
+        # see ARCHITECTURE.md, "Goal-directed search & pruning").  The
+        # paper-figure baseline benchmarks pass ``prune=False`` so the
+        # KSP-DG-vs-baseline comparisons keep measuring the classical,
+        # unpruned competitors the paper evaluated.
+        self.prune = prune
         self._snapshot: Optional[CSRSnapshot] = None
         self._executor, self._owns_executor = resolve_executor(
             executor, workers=executor_workers
@@ -232,7 +245,7 @@ class _CentralizedEngine:
 
     def _answer_on_replicas(self, queries: Sequence[KSPQuery]) -> List[QueryOutcome]:
         group = self._replica_set.ensure(
-            lambda: (type(self), self._graph, self.kernel)
+            lambda: (type(self), self._graph, self.kernel, self.prune)
         )
         shards: Dict[int, List[Tuple[int, KSPQuery]]] = {}
         for seq, query in enumerate(queries):
@@ -260,7 +273,10 @@ class YenEngine(_CentralizedEngine):
         """Answer one query with Yen's algorithm on the full graph."""
         started = time.perf_counter()
         try:
-            paths = yen_k_shortest_paths(self._view(), query.source, query.target, query.k)
+            paths = yen_k_shortest_paths(
+                self._view(), query.source, query.target, query.k,
+                prune=self.prune,
+            )
         except PathNotFoundError:
             paths = []
         elapsed = time.perf_counter() - started
@@ -276,7 +292,10 @@ class FindKSPEngine(_CentralizedEngine):
         """Answer one query with the FindKSP strategy on the full graph."""
         started = time.perf_counter()
         try:
-            paths = find_ksp(self._view(), query.source, query.target, query.k)
+            paths = find_ksp(
+                self._view(), query.source, query.target, query.k,
+                prune=self.prune,
+            )
         except PathNotFoundError:
             paths = []
         elapsed = time.perf_counter() - started

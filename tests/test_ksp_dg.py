@@ -149,7 +149,9 @@ class TestResultMetadata:
         assert result.iterations >= 1
         assert len(result.reference_paths) == result.iterations
         assert result.elapsed_seconds > 0
-        assert result.partial_computations > 0
+        # The shared session DTLP may already hold memoised partials from
+        # earlier tests (cross-query reuse); either way the refine step ran.
+        assert result.partial_computations + result.partial_reused > 0
 
     def test_reference_paths_are_lower_bounds(self, small_road_network, small_dtlp):
         """Lemma 2: each reference path's distance lower-bounds its candidates."""

@@ -1,0 +1,215 @@
+"""Identity properties of the goal-directed, bound-pruned query stack.
+
+The contract (``ARCHITECTURE.md``, "Goal-directed search & pruning"): every
+pruned configuration — upper-bound cutoffs, landmark/DTLP lower bounds,
+one-to-many boundary searches, cross-query partial-KSP memos — returns
+**bit-identical** paths and distances to the unpruned reference, on both
+compute kernels, across weight-update rounds, and on the serial and
+process execution backends.  These tests pin that down on randomized
+graphs; integer base weights make distance ties frequent, so tie-breaking
+divergence cannot hide.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.find_ksp import find_ksp
+from repro.algorithms.yen import LazyYen, yen_k_shortest_paths
+from repro.core import DTLP, DTLPConfig, KSPDG
+from repro.distributed import StormTopology
+from repro.dynamics import TrafficModel
+from repro.graph import random_graph, road_network
+from repro.graph.errors import PathNotFoundError
+from repro.kernel import CSRSnapshot, LandmarkLowerBounds
+from repro.workloads import QueryGenerator
+
+HEURISTICS = ("none", "landmark", "dtlp")
+
+
+def _signature(paths):
+    return [(path.distance, path.vertices) for path in paths]
+
+
+class TestYenPruningIdentity:
+    def test_pruned_matches_unpruned_on_random_graphs(self):
+        rng = random.Random(2027)
+        for trial in range(6):
+            seed = rng.randrange(100_000)
+            graph = (
+                random_graph(num_vertices=32, num_edges=75, seed=seed)
+                if trial % 2
+                else road_network(6, 6, seed=seed)
+            )
+            snapshot = CSRSnapshot(graph)
+            landmarks = LandmarkLowerBounds(snapshot, num_landmarks=3)
+            vertices = sorted(snapshot.ids)
+            for _ in range(6):
+                source, target = rng.sample(vertices, 2)
+                k = rng.choice((1, 2, 4))
+                try:
+                    reference = yen_k_shortest_paths(graph, source, target, k, prune=False)
+                except PathNotFoundError:
+                    continue
+                expected = _signature(reference)
+                assert _signature(
+                    yen_k_shortest_paths(graph, source, target, k, prune=True)
+                ) == expected
+                assert _signature(
+                    yen_k_shortest_paths(snapshot, source, target, k, prune=True)
+                ) == expected
+                assert _signature(
+                    yen_k_shortest_paths(
+                        snapshot, source, target, k, prune=True, heuristic=landmarks
+                    )
+                ) == expected
+
+    def test_pruned_respects_allowed_vertices(self):
+        graph = road_network(6, 6, seed=9)
+        snapshot = CSRSnapshot(graph)
+        allowed = set(range(0, 24))
+        for prune in (False, True):
+            try:
+                paths = yen_k_shortest_paths(
+                    snapshot, 0, 20, 3, allowed_vertices=allowed, prune=prune
+                )
+            except PathNotFoundError:
+                paths = []
+            for path in paths:
+                assert set(path.vertices) <= allowed
+        base = yen_k_shortest_paths(graph, 0, 20, 3, allowed_vertices=allowed, prune=False)
+        fast = yen_k_shortest_paths(
+            snapshot, 0, 20, 3, allowed_vertices=allowed, prune=True
+        )
+        assert _signature(base) == _signature(fast)
+
+    def test_external_upper_bound_never_loses_needed_paths(self):
+        # The enumerator may drop paths strictly beyond the bound but must
+        # deliver everything at or below it, in the unpruned order.
+        graph = road_network(5, 5, seed=3)
+        snapshot = CSRSnapshot(graph)
+        reference = LazyYen(snapshot, 0, 24)
+        expected = [reference.next_path() for _ in range(5)]
+        bound = expected[-1].distance
+        pruned = LazyYen(snapshot, 0, 24)
+        pruned.set_upper_bound(bound)
+        produced = []
+        for _ in range(5):
+            produced.append(pruned.next_path())
+        assert _signature(produced) == _signature(expected)
+
+
+class TestFindKSPPruningIdentity:
+    def test_pruned_matches_unpruned(self):
+        rng = random.Random(404)
+        for _ in range(5):
+            seed = rng.randrange(100_000)
+            graph = road_network(5, 5, seed=seed)
+            snapshot = CSRSnapshot(graph)
+            vertices = sorted(snapshot.ids)
+            source, target = rng.sample(vertices, 2)
+            k = rng.choice((2, 3, 5))
+            try:
+                reference = find_ksp(graph, source, target, k, prune=False)
+            except PathNotFoundError:
+                continue
+            assert _signature(find_ksp(graph, source, target, k, prune=True)) == (
+                _signature(reference)
+            )
+            assert _signature(find_ksp(snapshot, source, target, k, prune=True)) == (
+                _signature(reference)
+            )
+
+
+class TestKSPDGPruningIdentity:
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_identical_across_update_rounds(self, heuristic):
+        graph = road_network(7, 7, seed=23)
+        dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+        graph.add_listener(dtlp.handle_updates)
+        baseline = KSPDG(dtlp, heuristic="none", pruning=False)
+        pruned = KSPDG(dtlp, heuristic=heuristic, pruning=True)
+        queries = QueryGenerator(graph, seed=24, min_hops=3).generate(6, k=3)
+        model = TrafficModel(graph, alpha=0.4, tau=0.6, seed=25)
+        for _ in range(3):
+            for query in queries:
+                expected = baseline.query(query.source, query.target, query.k)
+                actual = pruned.query(query.source, query.target, query.k)
+                assert _signature(actual.paths) == _signature(expected.paths)
+                assert actual.iterations == expected.iterations
+                assert [
+                    reference.vertices for reference in actual.reference_paths
+                ] == [reference.vertices for reference in expected.reference_paths]
+            model.advance()
+
+    def test_dict_kernel_pruning_matches_dict_reference(self):
+        graph = road_network(6, 6, seed=29)
+        dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+        baseline = KSPDG(dtlp, kernel="dict", pruning=False)
+        pruned = KSPDG(dtlp, kernel="dict", pruning=True)
+        queries = QueryGenerator(graph, seed=30, min_hops=3).generate(6, k=3)
+        for query in queries:
+            expected = baseline.query(query.source, query.target, query.k)
+            actual = pruned.query(query.source, query.target, query.k)
+            assert _signature(actual.paths) == _signature(expected.paths)
+
+    def test_memo_reuse_is_invisible_in_results(self):
+        graph = road_network(7, 7, seed=31)
+        dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+        engine = KSPDG(dtlp, pruning=True)
+        first = engine.query(0, 44, 3)
+        second = engine.query(0, 44, 3)
+        assert _signature(first.paths) == _signature(second.paths)
+        assert second.partial_reused > 0
+        assert second.partial_computations == 0
+        # A weight change inside a crossed subgraph forces recomputation.
+        graph.add_listener(dtlp.handle_updates)
+        TrafficModel(graph, alpha=0.9, tau=0.8, seed=32).advance()
+        third = engine.query(0, 44, 3)
+        assert third.partial_computations > 0
+        fresh = KSPDG(DTLP(graph, DTLPConfig(z=14, xi=2)).build(), pruning=False)
+        assert _signature(third.paths) == _signature(fresh.query(0, 44, 3).paths)
+
+
+class TestTopologyPruningIdentity:
+    @pytest.mark.parametrize("executor", ("serial", "process"))
+    @pytest.mark.parametrize("heuristic", ("landmark", "dtlp"))
+    def test_pruned_topology_matches_unpruned_serial(self, executor, heuristic):
+        def run(backend, heuristic_mode, pruning):
+            graph = road_network(6, 6, seed=35)
+            dtlp = DTLP(graph, DTLPConfig(z=14, xi=2)).build()
+            queries = QueryGenerator(graph, seed=36, min_hops=3).generate(6, k=3)
+            model = TrafficModel(graph, alpha=0.35, tau=0.5, seed=37)
+            signatures = []
+            with StormTopology(
+                dtlp, num_workers=3, executor=backend, executor_workers=2,
+                heuristic=heuristic_mode, pruning=pruning,
+            ) as topology:
+                for round_number in range(2):
+                    report = topology.run_queries(queries)
+                    signatures.append(
+                        (
+                            [
+                                _signature(result.paths)
+                                for result in report.results
+                            ],
+                            report.communication_units,
+                            [
+                                (
+                                    worker.stats.worker_id,
+                                    worker.stats.messages_sent,
+                                    worker.stats.units_sent,
+                                    worker.stats.tasks_executed,
+                                )
+                                for worker in topology.cluster.workers
+                            ],
+                        )
+                    )
+                    if round_number == 0:
+                        topology.submit_weight_updates(model.advance())
+            return signatures
+
+        reference = run("serial", "none", False)
+        assert run(executor, heuristic, True) == reference
