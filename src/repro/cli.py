@@ -28,12 +28,21 @@ to enable load-adaptive placement with live subgraph migration
 telemetry & rebalancing"); ``replay``/``serve`` accept
 ``--kernel {snapshot,dict}`` to pick the compute path, which the printed
 service report echoes back.
+
+Observability (see ``ARCHITECTURE.md``, "Observability"): ``replay`` and
+``serve`` accept ``--trace FILE`` to export a per-query span trace as Chrome
+trace-event JSON (load it in Perfetto, or render it with ``repro trace
+FILE``) and ``--metrics`` to print the Prometheus-style metrics exposition
+after the report; ``stats --metrics`` runs a small profiled query probe and
+prints the kernel/bolt counter exposition; ``bench --profile`` gains
+``--profile-out FILE`` to write the raw pstats dump for offline analysis.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 import time
@@ -51,6 +60,7 @@ from .distributed import (
 from .dynamics import TrafficModel
 from .exec import EXECUTORS
 from .graph import DynamicGraph, dataset, read_gr, write_gr
+from .obs.trace import TraceSession, render_tree, trees_from_chrome
 from .service import KSPService, ServiceOverloadedError, generate_trace, replay
 from .workloads import FindKSPEngine, QueryEngine, QueryGenerator, YenEngine
 
@@ -83,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_arguments(stats)
     stats.add_argument("--z", type=int, default=48, help="subgraph size threshold")
     stats.add_argument("--xi", type=int, default=5, help="bounding paths per boundary pair")
+    stats.add_argument("--metrics", action="store_true",
+                       help="additionally run a small profiled query probe over "
+                            "the built index and print the Prometheus-style "
+                            "metrics exposition (kernel and bolt counters)")
+    stats.add_argument("--probe-queries", type=int, default=20,
+                       help="queries in the --metrics probe batch (default 20)")
 
     query = subparsers.add_parser("query", help="answer one KSP query")
     add_graph_arguments(query)
@@ -131,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the query batch under cProfile and print the "
                             "top-25 functions by cumulative time, so perf work "
                             "starts from data instead of guesses")
+    bench.add_argument("--profile-out", metavar="FILE", default=None,
+                       help="with --profile, additionally write the raw pstats "
+                            "dump to FILE (load it with pstats.Stats(FILE) or "
+                            "snakeviz for offline analysis)")
 
     def add_service_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--z", type=int, default=48)
@@ -174,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of edges changed per traffic snapshot")
         sub.add_argument("--tau", type=float, default=0.3,
                          help="relative weight variation per snapshot")
+        sub.add_argument("--trace", metavar="FILE", default=None,
+                         help="record a per-query span trace (admission -> "
+                              "batch -> bolts -> kernel) and write it to FILE "
+                              "as Chrome trace-event JSON; open in Perfetto or "
+                              "render with 'repro trace FILE'")
+        sub.add_argument("--metrics", action="store_true",
+                         help="print the Prometheus-style metrics exposition "
+                              "(cluster + service counters) after the report")
 
     replay_cmd = subparsers.add_parser(
         "replay", help="replay a mixed update/query trace through the serving layer")
@@ -192,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_service_arguments(serve)
     serve.add_argument("--epochs", type=int, default=10)
     serve.add_argument("--queries-per-epoch", type=int, default=40)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="render a recorded Chrome trace-event JSON as a span tree")
+    trace_cmd.add_argument("file", help="trace JSON written by --trace")
+    trace_cmd.add_argument("--max-queries", type=int, default=None,
+                           help="only render the first N query tracks")
 
     return parser
 
@@ -225,6 +259,19 @@ def _command_stats(args: argparse.Namespace) -> int:
     stats = dtlp.statistics()
     rows = [[key, value] for key, value in stats.as_dict().items()]
     print(format_table(["statistic", "value"], rows))
+    if args.metrics:
+        # A small profiled query probe populates the cluster's metrics
+        # registry so the exposition shows live kernel/bolt counters, not
+        # just an empty page.  Deterministic: seeded generator, serial
+        # backend.
+        with StormTopology(dtlp, kernel_profiling=True) as topology:
+            queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
+                max(0, args.probe_queries), k=2
+            )
+            if queries:
+                topology.run_queries(queries)
+            print()
+            print(topology.cluster.metrics.render_prometheus(), end="")
     return 0
 
 
@@ -283,7 +330,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         results, makespan, compute, comm = [], 0.0, 0.0, 0
         load_balance = {"busy_spread": 0.0}
         executed_rounds = 0
-        profiler = cProfile.Profile() if args.profile else None
+        profiling = args.profile or args.profile_out is not None
+        profiler = cProfile.Profile() if profiling else None
         started = time.perf_counter()
         if profiler is not None:
             profiler.enable()
@@ -327,11 +375,16 @@ def _command_bench(args: argparse.Namespace) -> int:
              round(rebalancer.load_report(topology.placement).imbalance(), 4)],
         ]
     print(format_table(["metric", "value"], rows))
-    if args.profile:
-        # The hottest query batch, top-25 by cumulative time: the starting
-        # point for any future perf PR.
+    if profiler is not None:
         stats = pstats.Stats(profiler)
-        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile:
+            # The hottest query batch, top-25 by cumulative time: the
+            # starting point for any future perf PR.
+            stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            # Raw dump for offline analysis (pstats.Stats(FILE), snakeviz).
+            stats.dump_stats(args.profile_out)
+            print(f"wrote pstats dump to {args.profile_out}")
     return 0
 
 
@@ -385,7 +438,20 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
         queue_capacity=args.queue_capacity,
         max_batch_size=args.batch_size,
         rebalance_every=1 if (rebalance_enabled and args.engine == "kspdg") else 0,
+        tracer=TraceSession() if args.trace else None,
     )
+
+
+def _finish_observability(service: KSPService, args: argparse.Namespace) -> None:
+    """Shared ``--metrics`` / ``--trace FILE`` tail of replay and serve."""
+    if args.metrics:
+        print()
+        print(service.metrics_text(), end="")
+    if args.trace:
+        written = service.tracer.write_chrome_trace(args.trace)
+        print(f"wrote {written} bytes of trace-event JSON to {args.trace} "
+              f"({len(service.tracer.queries)} query spans; view with "
+              f"'repro trace {args.trace}' or load in Perfetto)")
 
 
 def _print_report(service: KSPService) -> None:
@@ -412,6 +478,7 @@ def _command_replay(args: argparse.Namespace) -> int:
     if args.validate:
         print(f"stale served results: {outcome.stale_served}")
     _print_report(service)
+    _finish_observability(service, args)
     service.close()
     return 1 if (args.validate and outcome.stale_served) else 0
 
@@ -439,7 +506,34 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"epoch {epoch:3d}: {len(updates)} updates applied, "
               f"{len(answers)} queries served ({hits} from cache, {shed} shed)")
     _print_report(service)
+    _finish_observability(service, args)
     service.close()
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="ascii") as handle:
+        payload = json.load(handle)
+    tracks = trees_from_chrome(payload)
+    if not tracks:
+        print(f"{args.file}: no complete events found")
+        return 1
+    shown_queries = 0
+    omitted = 0
+    for tid, roots in tracks:
+        if tid == 0:
+            print("session events:")
+        else:
+            if args.max_queries is not None and shown_queries >= args.max_queries:
+                omitted += 1
+                continue
+            shown_queries += 1
+            print(f"query #{tid - 1}:")
+        for root in roots:
+            for line in render_tree(root).splitlines():
+                print(f"  {line}")
+    if omitted:
+        print(f"... {omitted} more queries omitted")
     return 0
 
 
@@ -450,6 +544,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "replay": _command_replay,
     "serve": _command_serve,
+    "trace": _command_trace,
 }
 
 

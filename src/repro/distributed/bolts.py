@@ -55,6 +55,10 @@ from ..graph.graph import WeightUpdate
 from ..graph.paths import Path, merge_paths
 from ..kernel.heuristics import LandmarkLowerBounds
 from ..kernel.snapshot import CSRSnapshot
+from ..obs.profile import KernelCounters
+from ..obs.profile import activate as activate_profiling
+from ..obs.profile import deactivate as deactivate_profiling
+from ..obs.trace import Span, begin_trace, end_trace, mark, pop_span, push_span
 from ..workloads.queries import KSPQuery
 from .cluster import SimulatedCluster
 
@@ -135,6 +139,9 @@ class SubgraphBolt:
         worker = self._cluster.worker(self.worker_id)
         worker.charge_compute(elapsed)
         worker.charge_subgraph(subgraph_id, elapsed)
+        metrics = self._cluster.metrics
+        metrics.counter("bolt_update_batches_total").inc()
+        metrics.counter("bolt_updates_applied_total").inc(len(updates))
 
     # ------------------------------------------------------------------
     # query support
@@ -161,12 +168,20 @@ class SubgraphBolt:
         started = time.perf_counter()
         results: Dict[Tuple[int, int], List[Path]] = {}
         vertices = reference_path.vertices
+        memo_hits = 0
+        memo_misses = 0
+        partials_span = push_span("partials", bolt=self.name)
         for index in range(len(vertices) - 1):
             pair = (vertices[index], vertices[index + 1])
             owners = set(self._partition.subgraphs_containing_pair(*pair))
             local_owners = owners & self.subgraph_ids
             if not local_owners:
                 continue
+            # The per-pair span aggregates across owning subgraphs: spans are
+            # keyed to the deterministic reference-path pair order, never to
+            # set iteration order.
+            pair_span = push_span("pair", _kernel=True, u=pair[0], v=pair[1])
+            pair_hits = 0
             collected: List[Path] = []
             for subgraph_id in local_owners:
                 sub_started = time.perf_counter()
@@ -177,6 +192,7 @@ class SubgraphBolt:
                         else None
                     )
                     if memo is not None:
+                        pair_hits += 1
                         collected.extend(memo)
                         continue
                     subgraph = self._subgraph_view(subgraph_id)
@@ -201,6 +217,12 @@ class SubgraphBolt:
                     self._cluster.worker(self.worker_id).charge_subgraph(
                         subgraph_id, time.perf_counter() - sub_started
                     )
+            memo_hits += pair_hits
+            memo_misses += len(local_owners) - pair_hits
+            if pair_span is not None:
+                pair_span.args["memo_hits"] = pair_hits
+                pair_span.args["computed"] = len(local_owners) - pair_hits
+            pop_span(pair_span)
             if not collected:
                 continue
             collected.sort()
@@ -214,7 +236,16 @@ class SubgraphBolt:
                 if len(deduplicated) >= k:
                     break
             results[pair] = deduplicated
+        if partials_span is not None:
+            partials_span.args["pairs"] = len(results)
+        pop_span(partials_span)
         self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        metrics = self._cluster.metrics
+        metrics.counter("bolt_partial_pairs_total").inc(len(results))
+        if memo_hits:
+            metrics.counter("dtlp_memo_hits_total").inc(memo_hits)
+        if memo_misses:
+            metrics.counter("dtlp_memo_misses_total").inc(memo_misses)
         return results
 
     def attachment_bounds(self, vertex: int) -> Dict[int, float]:
@@ -224,6 +255,7 @@ class SubgraphBolt:
         distances from the vertex to the subgraph's boundary vertices.
         """
         started = time.perf_counter()
+        attach_span = push_span("attach", _kernel=True, bolt=self.name, vertex=vertex)
         bounds: Dict[int, float] = {}
         for subgraph_id in self.subgraph_ids:
             subgraph = self._partition.subgraph(subgraph_id)
@@ -245,7 +277,11 @@ class SubgraphBolt:
             self._cluster.worker(self.worker_id).charge_subgraph(
                 subgraph_id, time.perf_counter() - sub_started
             )
+        if attach_span is not None:
+            attach_span.args["boundaries"] = len(bounds)
+        pop_span(attach_span)
         self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        self._cluster.metrics.counter("bolt_attachment_probes_total").inc()
         return bounds
 
     def direct_distance(self, source: int, target: int) -> Optional[float]:
@@ -257,6 +293,7 @@ class SubgraphBolt:
         early-exit Dijkstra.
         """
         started = time.perf_counter()
+        direct_span = push_span("direct", _kernel=True, bolt=self.name)
         best: Optional[float] = None
         for subgraph_id in self.subgraph_ids:
             subgraph = self._partition.subgraph(subgraph_id)
@@ -277,7 +314,11 @@ class SubgraphBolt:
             self._cluster.worker(self.worker_id).charge_subgraph(
                 subgraph_id, time.perf_counter() - sub_started
             )
+        if direct_span is not None:
+            direct_span.args["found"] = best is not None
+        pop_span(direct_span)
         self._cluster.worker(self.worker_id).charge_compute(time.perf_counter() - started)
+        self._cluster.metrics.counter("bolt_direct_probes_total").inc()
         return best
 
 
@@ -386,66 +427,82 @@ class QueryBolt:
         reference = self._next_reference(enumerator, worker)
         while reference is not None:
             iterations += 1
-            # Broadcast the reference path to all SubgraphBolts (communication).
-            for bolt in self._subgraph_bolts:
-                self._cluster.send(self.worker_id, bolt.worker_id, len(reference.vertices))
-            # Each SubgraphBolt computes the partial paths it can serve.
-            pair_paths: Dict[Tuple[int, int], List[Path]] = {}
-            for bolt in self._subgraph_bolts:
-                needed_pairs = self._pairs_needing_work(reference, partial_cache)
-                if not needed_pairs:
-                    break
-                bolt_result = bolt.partial_ksps_for_reference(reference, query.k)
-                for pair, paths in bolt_result.items():
-                    if pair not in needed_pairs:
-                        continue
-                    existing = pair_paths.setdefault(pair, [])
-                    existing.extend(paths)
-                    # Communication back to this QueryBolt.
-                    units = sum(len(path.vertices) for path in paths)
-                    self._cluster.send(bolt.worker_id, self.worker_id, units)
-            for pair, paths in pair_paths.items():
-                paths.sort()
-                deduplicated: List[Path] = []
-                seen_partial: Set[Tuple[int, ...]] = set()
-                for path in paths:
-                    if path.vertices in seen_partial:
-                        continue
-                    seen_partial.add(path.vertices)
-                    deduplicated.append(path)
-                    if len(deduplicated) >= query.k:
+            iteration_span = push_span("iteration", index=iterations)
+            try:
+                # Broadcast the reference path to all SubgraphBolts (communication).
+                for bolt in self._subgraph_bolts:
+                    self._cluster.send(self.worker_id, bolt.worker_id, len(reference.vertices))
+                mark(
+                    "broadcast",
+                    bolts=len(self._subgraph_bolts),
+                    units=len(reference.vertices),
+                )
+                # Each SubgraphBolt computes the partial paths it can serve.
+                pair_paths: Dict[Tuple[int, int], List[Path]] = {}
+                for bolt in self._subgraph_bolts:
+                    needed_pairs = self._pairs_needing_work(reference, partial_cache)
+                    if not needed_pairs:
                         break
-                partial_cache[pair] = deduplicated
-            # Merge partial paths into candidate complete paths.
-            merge_start = time.perf_counter()
-            candidates = self._merge_candidates(reference, partial_cache, query.k)
-            for candidate in candidates:
-                if candidate.vertices in seen:
-                    continue
-                seen.add(candidate.vertices)
-                top_paths.append(candidate)
-            top_paths.sort()
-            del top_paths[query.k:]
-            worker.charge_compute(time.perf_counter() - merge_start)
+                    bolt_result = bolt.partial_ksps_for_reference(reference, query.k)
+                    for pair, paths in bolt_result.items():
+                        if pair not in needed_pairs:
+                            continue
+                        existing = pair_paths.setdefault(pair, [])
+                        existing.extend(paths)
+                        # Communication back to this QueryBolt.
+                        units = sum(len(path.vertices) for path in paths)
+                        self._cluster.send(bolt.worker_id, self.worker_id, units)
+                for pair, paths in pair_paths.items():
+                    paths.sort()
+                    deduplicated: List[Path] = []
+                    seen_partial: Set[Tuple[int, ...]] = set()
+                    for path in paths:
+                        if path.vertices in seen_partial:
+                            continue
+                        seen_partial.add(path.vertices)
+                        deduplicated.append(path)
+                        if len(deduplicated) >= query.k:
+                            break
+                    partial_cache[pair] = deduplicated
+                # Merge partial paths into candidate complete paths.
+                merge_start = time.perf_counter()
+                candidates = self._merge_candidates(reference, partial_cache, query.k)
+                for candidate in candidates:
+                    if candidate.vertices in seen:
+                        continue
+                    seen.add(candidate.vertices)
+                    top_paths.append(candidate)
+                top_paths.sort()
+                del top_paths[query.k:]
+                worker.charge_compute(time.perf_counter() - merge_start)
+                mark("merge", candidates=len(candidates), top=len(top_paths))
 
-            kth = (
-                top_paths[query.k - 1].distance
-                if len(top_paths) >= query.k
-                else float("inf")
-            )
-            if self._pruning and top_paths:
-                # Theorem 3 stops the loop at the first reference path no
-                # shorter than the k-th candidate; longer reference paths
-                # are never consumed, so the enumerator may prune them.
-                enumerator.set_upper_bound(kth)
-            next_reference = self._next_reference(enumerator, worker)
-            if next_reference is None:
-                break
-            if top_paths and kth <= next_reference.distance:
-                break
-            reference = next_reference
+                kth = (
+                    top_paths[query.k - 1].distance
+                    if len(top_paths) >= query.k
+                    else float("inf")
+                )
+                if self._pruning and top_paths:
+                    # Theorem 3 stops the loop at the first reference path no
+                    # shorter than the k-th candidate; longer reference paths
+                    # are never consumed, so the enumerator may prune them.
+                    enumerator.set_upper_bound(kth)
+                next_reference = self._next_reference(enumerator, worker)
+                if next_reference is None:
+                    break
+                if top_paths and kth <= next_reference.distance:
+                    break
+                reference = next_reference
+            finally:
+                pop_span(iteration_span)
         with self._counter_lock:
             self.queries_processed += 1
+        metrics = self._cluster.metrics
+        metrics.counter("bolt_queries_total").inc()
+        metrics.counter("bolt_iterations_total").inc(iterations)
+        metrics.histogram(
+            "query_iterations", help="KSP-DG refinement rounds per query"
+        ).observe(float(iterations))
         return QueryBoltResult(
             query=query,
             paths=top_paths,
@@ -526,12 +583,25 @@ class QueryBolt:
 
 
 class QueryBoltResult:
-    """Outcome of one query processed by a QueryBolt."""
+    """Outcome of one query processed by a QueryBolt.
 
-    def __init__(self, query: KSPQuery, paths: List[Path], iterations: int) -> None:
+    ``trace`` carries the query's finished span tree when the topology ran
+    the query under tracing (see :meth:`EntranceSpout.submit_query_observed`);
+    it travels on the result so process-replica executors ship it back to
+    the master with the paths.
+    """
+
+    def __init__(
+        self,
+        query: KSPQuery,
+        paths: List[Path],
+        iterations: int,
+        trace: Optional[Span] = None,
+    ) -> None:
         self.query = query
         self.paths = paths
         self.iterations = iterations
+        self.trace = trace
 
 
 class EntranceSpout:
@@ -603,6 +673,7 @@ class EntranceSpout:
         """
         attachments: Dict[int, Dict[int, float]] = {}
         direct_edge: Optional[float] = None
+        step1_span = push_span("step1")
         for endpoint in {query.source, query.target}:
             if self._partition.is_boundary(endpoint):
                 continue
@@ -627,10 +698,73 @@ class EntranceSpout:
                 value = bolt.direct_distance(query.source, query.target)
                 if value is not None and (direct_edge is None or value < direct_edge):
                     direct_edge = value
+        if step1_span is not None:
+            step1_span.args["attachments"] = len(attachments)
+            step1_span.args["direct_edge"] = direct_edge is not None
+        pop_span(step1_span)
 
         if route_index is None:
             route_index = self._next_query_bolt
             self._next_query_bolt += 1
         query_bolt = self._query_bolts[route_index % len(self._query_bolts)]
         self._cluster.send(SimulatedCluster.MASTER_ID, query_bolt.worker_id, 3)
-        return query_bolt.process_query(query, attachments or None, direct_edge)
+        self._cluster.metrics.counter("spout_queries_total").inc()
+        route_span = push_span("route", bolt=query_bolt.name)
+        try:
+            result = query_bolt.process_query(query, attachments or None, direct_edge)
+        finally:
+            pop_span(route_span)
+        if route_span is not None:
+            route_span.args["iterations"] = result.iterations
+        return result
+
+    def submit_query_observed(
+        self,
+        query: KSPQuery,
+        route_index: Optional[int] = None,
+        trace: bool = False,
+        profile: bool = False,
+    ) -> QueryBoltResult:
+        """Process one query with optional span tracing and kernel profiling.
+
+        With both switches off this is exactly :meth:`submit_query`.  With
+        ``trace`` the query runs under a fresh root span whose finished tree
+        rides back on ``result.trace``; with ``profile`` a per-query
+        :class:`~repro.obs.profile.KernelCounters` collector is active for
+        the duration and its totals fold into the cluster metrics registry
+        (riding the executor ledger absorb path, so totals stay
+        deterministic across backends).  Both are scoped to the current
+        thread, which is what keeps concurrent batch tasks isolated.
+        """
+        if not trace and not profile:
+            return self.submit_query(query, route_index=route_index)
+        counters: Optional[KernelCounters] = None
+        if profile:
+            counters = KernelCounters()
+            activate_profiling(counters)
+        root: Optional[Span] = None
+        if trace:
+            root = Span(
+                "query",
+                {
+                    "route_index": route_index,
+                    "source": query.source,
+                    "target": query.target,
+                    "k": query.k,
+                },
+            )
+            begin_trace(root)
+        try:
+            result = self.submit_query(query, route_index=route_index)
+        finally:
+            if trace:
+                end_trace()
+            if counters is not None:
+                deactivate_profiling()
+                counters.fold_into(self._cluster.metrics)
+        if root is not None:
+            root.args["iterations"] = result.iterations
+            if counters is not None:
+                root.args["kernel"] = counters.as_dict()
+            result.trace = root
+        return result

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.errors import ClusterError
+from ..obs.metrics import MetricsRegistry
 from .placement import greedy_balance
 
 __all__ = ["WorkerStats", "SimulatedWorker", "SimulatedCluster", "ClusterAccountant"]
@@ -135,6 +136,12 @@ class SimulatedCluster:
             SimulatedWorker(worker_id) for worker_id in range(num_workers)
         ]
         self._master = SimulatedWorker(self.MASTER_ID)
+        #: Cluster-wide observability registry.  Per-task ledgers carry
+        #: their own registry and :meth:`absorb` merges it here, so metric
+        #: values are deterministic across execution backends exactly like
+        #: the worker cost counters.  Cumulative: ``reset_time`` does not
+        #: clear it.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # topology helpers
@@ -277,6 +284,7 @@ class SimulatedCluster:
                 mine.stats.subgraph_tasks[subgraph_id] = (
                     mine.stats.subgraph_tasks.get(subgraph_id, 0) + tasks
                 )
+        self.metrics.absorb(ledger.metrics)
 
 
 class ClusterAccountant:
@@ -331,3 +339,13 @@ class ClusterAccountant:
     def send(self, sender_id: int, recipient_id: int, units: int) -> None:
         """Account a message on the active target."""
         self._target().send(sender_id, recipient_id, units)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The observability registry of the active target.
+
+        Under a per-task ledger this is the ledger's private registry, so
+        worker-side metrics ride the same absorb path as the cost
+        counters and merge deterministically.
+        """
+        return self._target().metrics

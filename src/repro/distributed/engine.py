@@ -100,6 +100,14 @@ class KSPDGEngine:
         """Lower-bound heuristic of the underlying topology."""
         return self._topology.heuristic
 
+    def enable_tracing(self) -> None:
+        """Run subsequent queries under span tracing.
+
+        Result outcomes then carry their span tree on ``outcome.trace``;
+        the serving layer grafts the trees into its own trace session.
+        """
+        self._topology.enable_query_traces()
+
     def answer(self, query: KSPQuery) -> QueryOutcome:
         """Answer one query (used by the generic batch runner).
 
@@ -128,6 +136,7 @@ class KSPDGEngine:
                 paths=result.paths,
                 elapsed_seconds=elapsed,
                 iterations=result.iterations,
+                trace=getattr(result, "trace", None),
             )
             for query, result in zip(queries, report.results)
         ]

@@ -447,6 +447,11 @@ def apply_moves(
             )
         cluster.worker(target).charge_memory(memory)
         migrated += 1
+    if migrated:
+        cluster.metrics.counter(
+            "rebalance_subgraphs_migrated_total",
+            help="Subgraphs moved between workers by live migration",
+        ).inc(migrated)
     return migrated
 
 

@@ -209,22 +209,43 @@ class TopologyReplica:
         )
 
     def run_queries(
-        self, envelopes: Sequence[QueryEnvelope]
+        self,
+        envelopes: Sequence[QueryEnvelope],
+        trace: bool = False,
+        profile: bool = False,
     ) -> Tuple[List[Tuple[int, QueryBoltResult]], SimulatedCluster]:
         """Process query envelopes against one chunk-level cost ledger.
 
         Charges are additive, so pre-merging the chunk into a single
         ledger (instead of shipping one per query) keeps the reply payload
         independent of batch size without changing the absorbed totals.
+        The observability switches arrive per call (not in the bundle), so
+        the master can turn tracing/profiling on after the replicas were
+        spawned; span trees ride back on the results and kernel counters on
+        the ledger's metrics registry.
         """
         ledger = SimulatedCluster(self._cluster.num_workers)
         self._account.activate(ledger)
         out: List[Tuple[int, QueryBoltResult]] = []
         try:
-            for seq, route_index, query in envelopes:
-                out.append(
-                    (seq, self._spout.submit_query(query, route_index=route_index))
-                )
+            if trace or profile:
+                for seq, route_index, query in envelopes:
+                    out.append(
+                        (
+                            seq,
+                            self._spout.submit_query_observed(
+                                query,
+                                route_index=route_index,
+                                trace=trace,
+                                profile=profile,
+                            ),
+                        )
+                    )
+            else:
+                for seq, route_index, query in envelopes:
+                    out.append(
+                        (seq, self._spout.submit_query(query, route_index=route_index))
+                    )
         finally:
             self._account.deactivate()
         return out, ledger

@@ -33,6 +33,7 @@ from ..core.ksp_dg import validate_heuristic_for_kernel, validate_kernel
 from ..exec import Executor, ReplicaSet, resolve_executor
 from ..graph.errors import ClusterError
 from ..graph.graph import WeightUpdate
+from ..obs.trace import Span, TraceSession
 from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster
@@ -124,6 +125,17 @@ class StormTopology:
         placement-independent, so results stay bit-identical across a
         migration; the deterministic ``"tasks"`` metric keeps the
         migrations themselves identical on every execution backend.
+    tracer:
+        A :class:`~repro.obs.trace.TraceSession` to collect per-query span
+        trees into (admission → route → bolt work items → kernel searches),
+        or ``None`` (default) for no tracing.  Traced batches work on every
+        backend: span trees build inside the executing thread/process and
+        ride back on the query results.
+    kernel_profiling:
+        Per-query kernel search counters (settled/relaxed/pruned/heap)
+        folded into ``cluster.metrics``.  ``None`` (default) follows the
+        tracer — profiling turns on with tracing so traced spans carry
+        kernel work; ``True``/``False`` force it independently.
 
     Examples
     --------
@@ -151,6 +163,8 @@ class StormTopology:
         rebalance: Union[None, bool, float, str, RebalanceConfig] = None,
         heuristic: str = "none",
         pruning: bool = True,
+        tracer: Optional[TraceSession] = None,
+        kernel_profiling: Optional[bool] = None,
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
@@ -171,6 +185,13 @@ class StormTopology:
         # Global query submission counter driving deterministic round-robin
         # QueryBolt routing (identical on every backend and in replicas).
         self._route_counter = 0
+        self._tracer = tracer
+        # Whether queries run under span tracing.  True when the topology
+        # owns a TraceSession; the serving layer instead calls
+        # enable_query_traces() to get per-result span trees it collects
+        # into its own session.
+        self._trace_queries = tracer is not None
+        self._kernel_profiling = kernel_profiling
         # Process-backend replicas, spawned lazily on first batch and kept
         # current via weight-update deltas between batches.
         self._replica_set = ReplicaSet(
@@ -265,6 +286,26 @@ class StormTopology:
     def rebalancer(self) -> Optional[Rebalancer]:
         """The load-adaptive placement loop, or ``None`` (static placement)."""
         return self._rebalancer
+
+    @property
+    def tracer(self) -> Optional[TraceSession]:
+        """The owned span-trace session, or ``None``."""
+        return self._tracer
+
+    def enable_query_traces(self) -> None:
+        """Run queries under tracing without owning a session.
+
+        Each :class:`~repro.distributed.bolts.QueryBoltResult` then carries
+        its span tree on ``result.trace``; the caller (the serving layer)
+        grafts the trees into its own :class:`~repro.obs.trace.TraceSession`.
+        """
+        self._trace_queries = True
+
+    def _observability_flags(self) -> Tuple[bool, bool]:
+        """(trace, profile) switches for the next batch."""
+        trace = self._trace_queries
+        profile = self._kernel_profiling if self._kernel_profiling is not None else trace
+        return trace, profile
 
     @property
     def subgraph_bolts(self) -> Sequence[SubgraphBolt]:
@@ -494,17 +535,34 @@ class StormTopology:
             self._cluster.reset_time()
         queries = list(queries)
         backend = self._executor.name
+        base = self._route_counter
+        trace, profile = self._observability_flags()
         if backend == "process" and queries:
-            results = self._run_on_replicas(queries)
+            results = self._run_on_replicas(queries, trace, profile)
         elif backend == "thread" and len(queries) > 1:
-            results = self._run_threaded(queries)
+            results = self._run_threaded(queries, trace, profile)
+        elif trace or profile:
+            results = [
+                self._spout.submit_query_observed(
+                    query, route_index=base + offset, trace=trace, profile=profile
+                )
+                for offset, query in enumerate(queries)
+            ]
         else:
-            base = self._route_counter
             results = [
                 self._spout.submit_query(query, route_index=base + offset)
                 for offset, query in enumerate(queries)
             ]
         self._route_counter += len(queries)
+        if self._tracer is not None and queries:
+            # The batch event records logical work only — no backend name,
+            # no wall-clock — so exported traces stay byte-identical across
+            # execution backends (the acceptance guarantee of repro.obs).
+            self._tracer.add_event(
+                Span("topology_batch", {"size": len(queries), "base_route": base})
+            )
+            for offset, result in enumerate(results):
+                self._tracer.add_query(base + offset, getattr(result, "trace", None))
         report = TopologyReport(results=results)
         report.makespan_seconds = self._cluster.makespan_seconds()
         report.total_compute_seconds = self._cluster.total_compute_seconds()
@@ -538,21 +596,27 @@ class StormTopology:
         for query_bolt in self._query_bolts:
             query_bolt.sync_kernel_caches()
 
-    def _run_threaded(self, queries: Sequence[KSPQuery]) -> List[QueryBoltResult]:
+    def _run_threaded(
+        self, queries: Sequence[KSPQuery], trace: bool = False, profile: bool = False
+    ) -> List[QueryBoltResult]:
         """Fan a batch over the thread pool against the shared topology."""
         self._sync_kernel_caches()
         base = self._route_counter
         num_workers = self._cluster.num_workers
+        observed = trace or profile
 
         def task(item: Tuple[int, KSPQuery]) -> Tuple[QueryBoltResult, SimulatedCluster]:
             offset, query = item
             ledger = SimulatedCluster(num_workers)
             self._account.activate(ledger)
             try:
-                return (
-                    self._spout.submit_query(query, route_index=base + offset),
-                    ledger,
-                )
+                if observed:
+                    result = self._spout.submit_query_observed(
+                        query, route_index=base + offset, trace=trace, profile=profile
+                    )
+                else:
+                    result = self._spout.submit_query(query, route_index=base + offset)
+                return (result, ledger)
             finally:
                 self._account.deactivate()
 
@@ -580,7 +644,9 @@ class StormTopology:
             graph_version=self._dtlp.graph.version,
         )
 
-    def _run_on_replicas(self, queries: Sequence[KSPQuery]) -> List[QueryBoltResult]:
+    def _run_on_replicas(
+        self, queries: Sequence[KSPQuery], trace: bool = False, profile: bool = False
+    ) -> List[QueryBoltResult]:
         """Shard a batch across the resident worker-process replicas.
 
         The :class:`~repro.exec.replicas.ReplicaSet` spawns the group on
@@ -596,7 +662,10 @@ class StormTopology:
                 (offset, base + offset, query)
             )
         replies = group.call_each(
-            [(slot, "run_queries", (envelopes,)) for slot, envelopes in shards.items()]
+            [
+                (slot, "run_queries", (envelopes, trace, profile))
+                for slot, envelopes in shards.items()
+            ]
         )
         tagged: List[Tuple[int, QueryBoltResult]] = []
         for chunk, ledger in replies:

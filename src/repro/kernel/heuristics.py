@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..graph.errors import QueryError
+from ..obs.profile import kernel_counters
 from .primitives import dijkstra_arrays
 from .snapshot import CSRSnapshot
 
@@ -221,8 +222,13 @@ class LandmarkLowerBounds:
         if target_index is None:
             return None
         cached = self._bounds_cache.get(target_index)
+        prof = kernel_counters()
         if cached is not None:
+            if prof is not None:
+                prof.bound_cache_hits += 1
             return cached
+        if prof is not None:
+            prof.bound_cache_misses += 1
         n = snapshot.num_vertices
         bounds = [0.0] * n
         if snapshot.directed:
@@ -319,8 +325,13 @@ class DTLPLowerBounds:
         if target_index is None:
             return None
         cached = self._bounds_cache.get(target_index)
+        prof = kernel_counters()
         if cached is not None:
+            if prof is not None:
+                prof.bound_cache_hits += 1
             return cached
+        if prof is not None:
+            prof.bound_cache_misses += 1
         bounds = [0.0] * snapshot.num_vertices
         ids = snapshot.ids
         index = self._index

@@ -27,6 +27,8 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs.profile import kernel_counters
+
 __all__ = [
     "dijkstra_arrays",
     "dijkstra_arrays_multi",
@@ -36,6 +38,14 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+# Profiling contract: each primitive pays exactly one thread-local lookup
+# (kernel_counters()) per call.  When a collector is active the call is
+# forwarded to an instrumented twin (_*_profiled below) that replays the
+# identical relaxation sequence while counting; when not, the original
+# loops run with zero added per-relaxation work.  The twins accumulate
+# into locals and fold once at the end, so even the enabled path adds no
+# attribute access inside the inner loop.
 
 
 def dijkstra_arrays(
@@ -81,6 +91,12 @@ def dijkstra_arrays(
         (``inf`` / ``-1`` when unlabelled); ``touched`` is ``None`` when
         ``track_touched`` is ``False``.
     """
+    prof = kernel_counters()
+    if prof is not None:
+        return _dijkstra_arrays_profiled(
+            prof, rows, num_vertices, source, target,
+            allowed, banned_vertices, banned_pairs, track_touched,
+        )
     dist: List[float] = [_INF] * num_vertices
     pred: List[int] = [-1] * num_vertices
     dist[source] = 0.0
@@ -151,6 +167,67 @@ def dijkstra_arrays(
     return dist, pred, touched
 
 
+def _dijkstra_arrays_profiled(
+    prof,
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int,
+    allowed: Optional[Set[int]],
+    banned_vertices: Optional[Set[int]],
+    banned_pairs: Optional[Set[Tuple[int, int]]],
+    track_touched: bool,
+) -> Tuple[List[float], List[int], Optional[List[int]]]:
+    """Counting twin of :func:`dijkstra_arrays`.
+
+    One general loop covers all three unprofiled variants: with empty ban
+    collections every extra membership test is a constant-false, so the
+    relaxation sequence — and the returned dist/pred/touched — is
+    bit-identical to whichever specialised loop would have run.
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    banned_v = banned_vertices if banned_vertices is not None else ()
+    banned_p = banned_pairs if banned_pairs is not None else ()
+    touched: Optional[List[int]] = [source] if track_touched else None
+    settled = relaxed = pushes = 0
+    peak = 1
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        settled += 1
+        if u == target:
+            break
+        for v, w in rows[u]:
+            if banned_v and v in banned_v:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            if banned_p and (u, v) in banned_p:
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                if touched is not None and dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+                relaxed += 1
+                pushes += 1
+                if len(heap) > peak:
+                    peak = len(heap)
+    prof.searches += 1
+    prof.settled += settled
+    prof.relaxed += relaxed
+    prof.heap_pushes += pushes
+    if peak > prof.heap_peak:
+        prof.heap_peak = peak
+    return dist, pred, touched
+
+
 def dijkstra_arrays_multi(
     rows: Sequence[Sequence[Tuple[int, float]]],
     num_vertices: int,
@@ -176,6 +253,9 @@ def dijkstra_arrays_multi(
     on settled targets and the predecessor chains leading to them (every
     vertex on a shortest path to a settled target is itself settled).
     """
+    prof = kernel_counters()
+    if prof is not None:
+        return _dijkstra_arrays_multi_profiled(prof, rows, num_vertices, source, targets)
     dist: List[float] = [_INF] * num_vertices
     pred: List[int] = [-1] * num_vertices
     dist[source] = 0.0
@@ -205,6 +285,59 @@ def dijkstra_arrays_multi(
                 dist[v] = nd
                 pred[v] = u
                 heappush(heap, (nd, v))
+    return dist, pred, settled_targets, touched
+
+
+def _dijkstra_arrays_multi_profiled(
+    prof,
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    targets: Iterable[int],
+) -> Tuple[List[float], List[int], List[int], List[int]]:
+    """Counting twin of :func:`dijkstra_arrays_multi` (same sequence)."""
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    remaining = set(targets)
+    settled_targets: List[int] = []
+    touched: List[int] = [source]
+    if source in remaining:
+        remaining.discard(source)
+        settled_targets.append(source)
+    prof.searches += 1
+    if not remaining:
+        return dist, pred, settled_targets, touched
+    settled = relaxed = pushes = 0
+    peak = 1
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        settled += 1
+        if u in remaining:
+            remaining.discard(u)
+            settled_targets.append(u)
+            if not remaining:
+                break
+        for v, w in rows[u]:
+            nd = d + w
+            if nd < dist[v]:
+                if dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+                relaxed += 1
+                pushes += 1
+                if len(heap) > peak:
+                    peak = len(heap)
+    prof.settled += settled
+    prof.relaxed += relaxed
+    prof.heap_pushes += pushes
+    if peak > prof.heap_peak:
+        prof.heap_peak = peak
     return dist, pred, settled_targets, touched
 
 
@@ -252,6 +385,12 @@ def bounded_dijkstra_arrays(
     dictionaries stay O(labelled) instead of O(V) — and is ``None``
     otherwise (the lean spur-search configuration).
     """
+    prof = kernel_counters()
+    if prof is not None:
+        return _bounded_dijkstra_arrays_profiled(
+            prof, rows, num_vertices, source, target, bounds, cutoff,
+            allowed, banned_vertices, banned_pairs, track_touched,
+        )
     dist: List[float] = [_INF] * num_vertices
     pred: List[int] = [-1] * num_vertices
     dist[source] = 0.0
@@ -289,6 +428,77 @@ def bounded_dijkstra_arrays(
     return dist, pred, found, touched
 
 
+def _bounded_dijkstra_arrays_profiled(
+    prof,
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int,
+    bounds: Optional[Sequence[float]],
+    cutoff: float,
+    allowed: Optional[Set[int]],
+    banned_vertices: Optional[Set[int]],
+    banned_pairs: Optional[Set[Tuple[int, int]]],
+    track_touched: bool,
+) -> Tuple[List[float], List[int], bool, Optional[List[int]]]:
+    """Counting twin of :func:`bounded_dijkstra_arrays` (same sequence).
+
+    ``pruned`` counts relaxations discarded by the bound test — the
+    push-time pruning the paper's Theorem-3 cutoff enables.
+    """
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    banned_v = banned_vertices if banned_vertices is not None else ()
+    banned_p = banned_pairs if banned_pairs is not None else ()
+    touched: Optional[List[int]] = [source] if track_touched else None
+    found = False
+    settled = relaxed = pruned = pushes = 0
+    peak = 1
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        settled += 1
+        if u == target:
+            found = True
+            break
+        for v, w in rows[u]:
+            if banned_v and v in banned_v:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            if banned_p and (u, v) in banned_p:
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                if bounds is None:
+                    if nd > cutoff:
+                        pruned += 1
+                        continue
+                elif nd + bounds[v] > cutoff:
+                    pruned += 1
+                    continue
+                if touched is not None and dist[v] == _INF:
+                    touched.append(v)
+                dist[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+                relaxed += 1
+                pushes += 1
+                if len(heap) > peak:
+                    peak = len(heap)
+    prof.searches += 1
+    prof.settled += settled
+    prof.relaxed += relaxed
+    prof.pruned += pruned
+    prof.heap_pushes += pushes
+    if peak > prof.heap_peak:
+        prof.heap_peak = peak
+    return dist, pred, found, touched
+
+
 def astar_arrays(
     rows: Sequence[Sequence[Tuple[int, float]]],
     num_vertices: int,
@@ -316,6 +526,11 @@ def astar_arrays(
     Returns ``(distance, dist, pred)``; ``distance`` is ``inf`` when the
     target is unreachable (or only reachable above ``cutoff``).
     """
+    prof = kernel_counters()
+    if prof is not None:
+        return _astar_arrays_profiled(
+            prof, rows, num_vertices, source, target, bounds, cutoff
+        )
     dist: List[float] = [_INF] * num_vertices
     pred: List[int] = [-1] * num_vertices
     dist[source] = 0.0
@@ -342,6 +557,59 @@ def astar_arrays(
                 pred[v] = u
                 heappush(heap, (nf, ng, v))
     return _INF, dist, pred
+
+
+def _astar_arrays_profiled(
+    prof,
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    num_vertices: int,
+    source: int,
+    target: int,
+    bounds: Optional[Sequence[float]],
+    cutoff: float,
+) -> Tuple[float, List[float], List[int]]:
+    """Counting twin of :func:`astar_arrays` (same f-ordered sequence)."""
+    dist: List[float] = [_INF] * num_vertices
+    pred: List[int] = [-1] * num_vertices
+    dist[source] = 0.0
+    prof.searches += 1
+    start_f = bounds[source] if bounds is not None else 0.0
+    if start_f > cutoff:
+        prof.pruned += 1
+        return _INF, dist, pred
+    heap: List[Tuple[float, float, int]] = [(start_f, 0.0, source)]
+    settled = relaxed = pruned = pushes = 0
+    peak = 1
+    result = _INF
+    while heap:
+        f, g, u = heappop(heap)
+        if g > dist[u]:
+            continue
+        settled += 1
+        if u == target:
+            result = g
+            break
+        for v, w in rows[u]:
+            ng = g + w
+            if ng < dist[v]:
+                nf = ng + (bounds[v] if bounds is not None else 0.0)
+                if nf > cutoff:
+                    pruned += 1
+                    continue
+                dist[v] = ng
+                pred[v] = u
+                heappush(heap, (nf, ng, v))
+                relaxed += 1
+                pushes += 1
+                if len(heap) > peak:
+                    peak = len(heap)
+    prof.settled += settled
+    prof.relaxed += relaxed
+    prof.pruned += pruned
+    prof.heap_pushes += pushes
+    if peak > prof.heap_peak:
+        prof.heap_peak = peak
+    return result, dist, pred
 
 
 def reconstruct_indices(pred: Sequence[int], source: int, target: int) -> List[int]:

@@ -39,6 +39,8 @@ from ..dynamics.traffic import TrafficModel
 from ..graph.errors import EdgeNotFoundError
 from ..graph.graph import DynamicGraph, WeightUpdate
 from ..graph.paths import Path
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, TraceSession
 from ..workloads.queries import KSPQuery
 from ..workloads.runner import QueryEngine, QueryOutcome
 from .cache import CacheEntry, ResultCache
@@ -101,6 +103,13 @@ class KSPService:
         topology additionally auto-checks at its own ``check_every``
         batch cadence.  ``0`` (default) leaves rebalancing entirely to the
         topology.
+    tracer:
+        A :class:`~repro.obs.trace.TraceSession` collecting one span tree
+        per admitted query — queue wait, micro-batch, cache lookup, and
+        (when the engine supports tracing) the full compute tree down to
+        the kernel searches.  Sequence numbers are assigned in admission
+        order, so a replayed workload produces a replay-deterministic
+        trace.  ``None`` (default) disables tracing.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class KSPService:
         queue_capacity: int = 256,
         max_batch_size: int = 16,
         rebalance_every: int = 0,
+        tracer: Optional[TraceSession] = None,
     ) -> None:
         self._graph = graph
         self._engine = engine
@@ -159,6 +169,14 @@ class KSPService:
         self._rebalance_every = rebalance_every
         self._maintenance_since_rebalance = 0
         self._telemetry = ServiceTelemetry()
+        self._tracer = tracer
+        # Deterministic per-query trace sequence, assigned in admission
+        # (batch-slot) order — the span-tree key of the exported trace.
+        self._trace_seq = 0
+        if tracer is not None:
+            enable_tracing = getattr(engine, "enable_tracing", None)
+            if enable_tracing is not None:
+                enable_tracing()
         self._closed = False
         if self._cache is not None:
             graph.add_listener(self._on_graph_updates)
@@ -195,6 +213,11 @@ class KSPService:
     def closed(self) -> bool:
         """Whether :meth:`close` has run."""
         return self._closed
+
+    @property
+    def tracer(self) -> Optional[TraceSession]:
+        """The span-trace session, or ``None`` when tracing is off."""
+        return self._tracer
 
     def _on_graph_updates(self, updates: Sequence[WeightUpdate]) -> None:
         if self._cache is not None:
@@ -249,16 +272,66 @@ class KSPService:
             else:
                 answered.append(None)
                 misses.append((position, pending))
+        outcome_by_position: dict = {}
         if misses:
             outcomes = self._answer_misses([pending for _, pending in misses])
             self._telemetry.unique_computations += len(misses)
             for (position, pending), outcome in zip(misses, outcomes):
+                outcome_by_position[position] = outcome
                 if self._cache is not None:
                     self._cache.put(pending.key, outcome.paths, version)
                 answered[position] = self._fan_out(
                     pending, outcome.paths, from_cache=False, version=version
                 )
+        if self._tracer is not None and batch:
+            self._record_batch_trace(batch, outcome_by_position, version)
         return [served for slot in answered for served in (slot or [])]
+
+    def _record_batch_trace(
+        self,
+        batch: Sequence[PendingRequest],
+        outcome_by_position: dict,
+        version: int,
+    ) -> None:
+        """Graft one micro-batch's span trees into the trace session.
+
+        Each batch slot (distinct query key) gets one tree rooted at a
+        ``service_query`` span carrying the admission-order sequence
+        number: queue wait, the micro-batch it rode, the cache lookup and
+        — on a miss — the engine's compute tree (down to the kernel spans
+        when the engine traces).  The args are all replay-deterministic;
+        wall-clock never enters the trace.
+        """
+        batch_size = len(batch)
+        for position, pending in enumerate(batch):
+            seq = self._trace_seq
+            self._trace_seq += 1
+            query = pending.queries[0]
+            root = Span(
+                "service_query",
+                {
+                    "seq": seq,
+                    "source": query.source,
+                    "target": query.target,
+                    "k": query.k,
+                },
+            )
+            root.child("queue", waiters=pending.fanout)
+            root.child("batch", size=batch_size, graph_version=version)
+            outcome = outcome_by_position.get(position)
+            root.child("cache", hit=outcome is None)
+            if outcome is not None:
+                compute = root.child("compute", iterations=outcome.iterations)
+                trace = getattr(outcome, "trace", None)
+                if trace is not None:
+                    compute.children.append(trace)
+            self._tracer.add_query(seq, root)
+        self._tracer.event(
+            "service_batch",
+            size=batch_size,
+            misses=len(outcome_by_position),
+            graph_version=version,
+        )
 
     def _answer_misses(self, misses: Sequence[PendingRequest]) -> List[QueryOutcome]:
         """Compute the batch's distinct cache misses through the engine."""
@@ -365,6 +438,12 @@ class KSPService:
         self._graph.apply_updates(updates)
         elapsed = time.perf_counter() - started
         self._telemetry.record_maintenance(len(updates), elapsed)
+        if self._tracer is not None:
+            self._tracer.event(
+                "maintenance",
+                updates=len(updates),
+                graph_version=self._graph.version,
+            )
         if self._rebalance_every > 0:
             self._maintenance_since_rebalance += 1
             if self._maintenance_since_rebalance >= self._rebalance_every:
@@ -379,6 +458,50 @@ class KSPService:
     # ------------------------------------------------------------------
     # reporting and lifecycle
     # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """One merged view of every observability metric the service can see.
+
+        A fresh registry absorbing the engine topology's cluster registry
+        (bolt/spout/kernel instruments, already merged deterministically
+        across executor ledgers) plus the service-level serving counters.
+        Building it on demand keeps the serving hot path free of extra
+        bookkeeping — everything here is derived from state the service
+        already tracks.
+        """
+        registry = MetricsRegistry()
+        topology = getattr(self._engine, "topology", None)
+        cluster = getattr(topology, "cluster", None)
+        if cluster is not None:
+            registry.absorb(cluster.metrics)
+        telemetry = self._telemetry
+        registry.counter(
+            "service_queries_served_total", help="queries answered incl. cache hits"
+        ).inc(telemetry.queries_served)
+        registry.counter(
+            "service_unique_computations_total", help="batch slots computed by the engine"
+        ).inc(telemetry.unique_computations)
+        registry.counter("service_maintenance_rounds_total").inc(
+            telemetry.maintenance_rounds
+        )
+        registry.counter("service_updates_applied_total").inc(telemetry.updates_applied)
+        registry.gauge(
+            "service_max_queue_depth", help="admission-queue high-water mark"
+        ).set_max(telemetry.depth_max)
+        registry.counter("service_shed_total").inc(self._pipeline.shed)
+        registry.counter("service_coalesced_total").inc(self._pipeline.coalesced)
+        if self._cache is not None:
+            stats = self._cache.stats
+            registry.counter("service_cache_hits_total").inc(stats.hits)
+            registry.counter("service_cache_misses_total").inc(stats.misses)
+            registry.counter("service_cache_invalidations_total").inc(
+                stats.invalidations
+            )
+        return registry
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of :meth:`metrics_registry`."""
+        return self.metrics_registry().render_prometheus()
+
     def report(self) -> ServiceReport:
         """Summarise everything served so far as a :class:`ServiceReport`."""
         if self._cache is not None:
@@ -408,6 +531,7 @@ class KSPService:
             cache_stale_rejections=stale_rejections,
             rebalances=rebalancer.rebalances if rebalancer else 0,
             subgraphs_migrated=rebalancer.subgraphs_migrated if rebalancer else 0,
+            metrics=self.metrics_text(),
         )
 
     def close(self) -> None:

@@ -10,31 +10,14 @@ handed to callers (and printed by ``repro replay`` / ``repro serve``).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Union
+
+# The percentile/reservoir machinery started here and moved to the shared
+# observability layer; re-exported so existing imports keep working.
+from ..obs.metrics import ReservoirSampler, percentile
 
 __all__ = ["percentile", "ServiceTelemetry", "ServiceReport"]
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated ``q``-th percentile (``q`` in [0, 100]).
-
-    Matches numpy's default ("linear") method; returns 0.0 on empty input
-    so reports over zero served queries stay printable.
-    """
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (q / 100.0)
-    lower = int(rank)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = rank - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 
 @dataclass(frozen=True)
@@ -57,6 +40,7 @@ class ServiceReport:
     shed: int
     latency_p50_ms: float
     latency_p90_ms: float
+    latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
     latency_max_ms: float
@@ -72,6 +56,10 @@ class ServiceReport:
     heuristic: str = "none"
     rebalances: int = 0
     subgraphs_migrated: int = 0
+    #: Prometheus-style text exposition of the engine/cluster metrics
+    #: registry at report time ("" when the engine exposes none).  A
+    #: multi-line block, so it is deliberately excluded from as_dict().
+    metrics: str = ""
 
     def as_dict(self) -> Dict[str, Union[int, float, str]]:
         """Ordered mapping used by the CLI table and the benchmarks."""
@@ -89,6 +77,7 @@ class ServiceReport:
             "shed requests": self.shed,
             "latency p50 (ms)": round(self.latency_p50_ms, 3),
             "latency p90 (ms)": round(self.latency_p90_ms, 3),
+            "latency p95 (ms)": round(self.latency_p95_ms, 3),
             "latency p99 (ms)": round(self.latency_p99_ms, 3),
             "latency mean (ms)": round(self.latency_mean_ms, 3),
             "latency max (ms)": round(self.latency_max_ms, 3),
@@ -126,20 +115,24 @@ class ServiceTelemetry:
     depth_sum: int = 0
     depth_count: int = 0
     depth_max: int = 0
-    latency_samples: List[float] = field(default_factory=list)
-    _rng: random.Random = field(default_factory=lambda: random.Random(0), repr=False)
+    _reservoir: ReservoirSampler = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._reservoir is None:
+            self._reservoir = ReservoirSampler(self.max_latency_samples, seed=0)
+
+    @property
+    def latency_samples(self) -> List[float]:
+        """The latency reservoir (seconds); bit-identical to the pre-move
+        inline implementation — same algorithm, same seed."""
+        return self._reservoir.samples
 
     def record_served(self, latency_seconds: float) -> None:
         """Record one served query and its admission-to-response latency."""
         self.queries_served += 1
         self.latency_sum_seconds += latency_seconds
         self.latency_max_seconds = max(self.latency_max_seconds, latency_seconds)
-        if len(self.latency_samples) < self.max_latency_samples:
-            self.latency_samples.append(latency_seconds)
-        else:
-            slot = self._rng.randrange(self.queries_served)
-            if slot < self.max_latency_samples:
-                self.latency_samples[slot] = latency_seconds
+        self._reservoir.add(latency_seconds)
 
     def record_queue_depth(self, depth: int) -> None:
         """Sample the admission-queue depth (taken at every submit)."""
@@ -169,6 +162,7 @@ class ServiceTelemetry:
         heuristic: str = "none",
         rebalances: int = 0,
         subgraphs_migrated: int = 0,
+        metrics: str = "",
     ) -> ServiceReport:
         """Freeze the current counters into a :class:`ServiceReport`."""
         # Pre-sorted so the three percentile() calls below don't each
@@ -186,6 +180,7 @@ class ServiceTelemetry:
             shed=shed,
             latency_p50_ms=percentile(latencies_ms, 50.0),
             latency_p90_ms=percentile(latencies_ms, 90.0),
+            latency_p95_ms=percentile(latencies_ms, 95.0),
             latency_p99_ms=percentile(latencies_ms, 99.0),
             latency_mean_ms=(
                 self.latency_sum_seconds / self.queries_served * 1e3
@@ -207,4 +202,5 @@ class ServiceTelemetry:
             heuristic=heuristic,
             rebalances=rebalances,
             subgraphs_migrated=subgraphs_migrated,
+            metrics=metrics,
         )

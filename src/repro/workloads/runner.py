@@ -54,12 +54,17 @@ __all__ = [
 
 @dataclass
 class QueryOutcome:
-    """Result of one query run through an engine."""
+    """Result of one query run through an engine.
+
+    ``trace`` carries the query's span tree (:class:`repro.obs.trace.Span`)
+    when the engine ran the query under tracing; ``None`` otherwise.
+    """
 
     query: KSPQuery
     paths: List[Path] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     iterations: int = 0
+    trace: Optional[object] = None
 
 
 @dataclass

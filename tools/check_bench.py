@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Benchmark-report gate: validate every ``BENCH_*.json`` in the repo root.
+
+The benchmark suites write small JSON summaries (``BENCH_kernel.json``,
+``BENCH_pruning.json``, ``BENCH_service.json``, ``BENCH_obs.json``, ...)
+that the README and PR descriptions quote.  Numbers that are quoted get
+stale or mistyped, so CI re-validates the files' *internal consistency* on
+every push:
+
+* required keys are present (``bench``, ``config``, ``baseline_ms``,
+  ``new_ms``, ``speedup``, ``qps``);
+* types are right (``bench`` a string, ``config`` a mapping, the rest
+  numbers — ``qps`` may be ``null`` for benchmarks where throughput is not
+  meaningful);
+* latencies are positive and finite;
+* ``speedup`` equals ``baseline_ms / new_ms`` within a relative tolerance
+  that absorbs the files' 3-decimal rounding.
+
+Exits non-zero on any violation, printing one line per problem.  A repo
+with no ``BENCH_*.json`` files passes vacuously (fresh clones before any
+benchmark run).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+REQUIRED_KEYS = ("bench", "config", "baseline_ms", "new_ms", "speedup", "qps")
+
+#: Relative tolerance for ``speedup == baseline_ms / new_ms``.  The files
+#: round all three fields to 3 decimals independently, so the recomputed
+#: ratio can drift by roughly ``0.5e-3 / new_ms`` relative — 2% covers
+#: every plausible magnitude these quick benches produce.
+SPEEDUP_RTOL = 0.02
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_file(path: Path) -> List[str]:
+    """Validate one ``BENCH_*.json``; returns a list of problem strings."""
+    name = path.name
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{name}: unreadable or invalid JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{name}: top level must be a JSON object, got {type(payload).__name__}"]
+
+    problems: List[str] = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{name}: missing required key {key!r}")
+    if problems:
+        return problems
+
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        problems.append(f"{name}: 'bench' must be a non-empty string")
+    if not isinstance(payload["config"], dict):
+        problems.append(f"{name}: 'config' must be an object")
+
+    for key in ("baseline_ms", "new_ms", "speedup"):
+        value = payload[key]
+        if not _is_number(value):
+            problems.append(f"{name}: {key!r} must be a number, got {value!r}")
+        elif not math.isfinite(value) or value <= 0:
+            problems.append(f"{name}: {key!r} must be positive and finite, got {value!r}")
+
+    qps = payload["qps"]
+    if qps is not None:
+        if not _is_number(qps):
+            problems.append(f"{name}: 'qps' must be a number or null, got {qps!r}")
+        elif not math.isfinite(qps) or qps <= 0:
+            problems.append(f"{name}: 'qps' must be positive and finite, got {qps!r}")
+
+    if problems:
+        return problems
+
+    expected = payload["baseline_ms"] / payload["new_ms"]
+    if not math.isclose(payload["speedup"], expected, rel_tol=SPEEDUP_RTOL):
+        problems.append(
+            f"{name}: speedup {payload['speedup']} inconsistent with "
+            f"baseline_ms/new_ms = {expected:.3f}"
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(arg) for arg in argv] or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    problems: List[str] = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"check_bench: {len(paths)} file(s) OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
