@@ -45,6 +45,7 @@ from typing import (
 
 from ..graph.errors import EdgeNotFoundError, PathNotFoundError, VertexNotFoundError
 from ..graph.paths import Path
+from ..obs.profile import kernel_counters
 from ..kernel.primitives import (
     bounded_dijkstra_arrays,
     dijkstra_arrays,
@@ -276,6 +277,17 @@ def dijkstra(
                 graph, source, target, allowed_vertices, banned_vertices,
                 banned_edges, targets=targets, cutoff=cutoff,
             )
+    # The generic loop routes through the same per-search profiling gate as
+    # the kernel primitives (one thread-local lookup; the instrumented twin
+    # only runs when a collector is active), so ``repro stats`` totals stay
+    # consistent whichever code path answered — including the fallback
+    # combinations above that the kernel fast paths do not cover.
+    prof = kernel_counters()
+    if prof is not None:
+        return _dijkstra_generic_profiled(
+            graph, source, target, allowed_vertices, banned_vertices,
+            banned_edges, targets, cutoff, prof,
+        )
     distances: Dict[int, float] = {source: 0.0}
     predecessors: Dict[int, int] = {}
     visited: Set[int] = set()
@@ -317,6 +329,75 @@ def dijkstra(
                 distances[neighbor] = candidate
                 predecessors[neighbor] = vertex
                 heapq.heappush(heap, (candidate, neighbor))
+    return distances, predecessors
+
+
+def _dijkstra_generic_profiled(
+    graph,
+    source: int,
+    target: Optional[int],
+    allowed_vertices: Optional[Set[int]],
+    banned_vertices: Optional[Set[int]],
+    banned_edges: Optional[Set[Tuple[int, int]]],
+    targets: Optional[Set[int]],
+    cutoff: Optional[float],
+    prof,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Instrumented twin of :func:`dijkstra`'s generic loop.
+
+    Identical relaxation sequence — the counters observe, never steer — so
+    enabling profiling cannot change labels or tie-breaks.  ``pruned``
+    counts cutoff discards, mirroring the bound test of the kernel's
+    :func:`~repro.kernel.primitives.bounded_dijkstra_arrays` twin.
+    """
+    prof.searches += 1
+    distances: Dict[int, float] = {source: 0.0}
+    predecessors: Dict[int, int] = {}
+    visited: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    banned_vertices = banned_vertices or set()
+    banned_edges = banned_edges or set()
+
+    if source in banned_vertices:
+        return {}, {}
+    remaining: Optional[Set[int]] = None
+    if targets is not None:
+        remaining = set(targets)
+        remaining.discard(source)
+        if not remaining:
+            return distances, predecessors
+
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if vertex in visited:
+            continue
+        visited.add(vertex)
+        prof.settled += 1
+        if target is not None and vertex == target:
+            break
+        if remaining is not None and vertex in remaining:
+            remaining.discard(vertex)
+            if not remaining:
+                break
+        for neighbor, weight in iter_neighbors(graph, vertex):
+            if neighbor in visited or neighbor in banned_vertices:
+                continue
+            if allowed_vertices is not None and neighbor not in allowed_vertices:
+                continue
+            if (vertex, neighbor) in banned_edges:
+                continue
+            candidate = distance + weight
+            if cutoff is not None and candidate > cutoff:
+                prof.pruned += 1
+                continue
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = vertex
+                heapq.heappush(heap, (candidate, neighbor))
+                prof.relaxed += 1
+                prof.heap_pushes += 1
+                if len(heap) > prof.heap_peak:
+                    prof.heap_peak = len(heap)
     return distances, predecessors
 
 

@@ -1,6 +1,6 @@
 """Benchmark harness: scaled experiment profiles and reporting helpers."""
 
-from .benchjson import bench_output_dir, write_bench_json
+from .benchjson import bench_output_dir, write_bench_json, write_bench_rows
 from .harness import (
     DATASET_DEFAULT_Z,
     FULL_SCALE,
@@ -26,4 +26,5 @@ __all__ = [
     "print_experiment",
     "bench_output_dir",
     "write_bench_json",
+    "write_bench_rows",
 ]

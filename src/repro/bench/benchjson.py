@@ -14,6 +14,11 @@ before/after comparison calls :func:`write_bench_json` once, producing a
       "qps": 148.0              # optional throughput of the new config
     }
 
+Benchmarks that compare several configurations of one workload (e.g. the
+kernel file's snapshot-vs-fast rows) call :func:`write_bench_rows` instead,
+producing a top-level *list* of rows with the same per-row schema —
+``tools/check_bench.py`` validates both shapes.
+
 Files land next to ``bench_report.txt`` (the directory of
 ``$REPRO_BENCH_REPORT``, which the benchmark conftest points at the
 repository root by default), so a plain ``pytest benchmarks/`` leaves
@@ -25,9 +30,9 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
-__all__ = ["write_bench_json", "bench_output_dir"]
+__all__ = ["write_bench_json", "write_bench_rows", "bench_output_dir"]
 
 Number = Union[int, float]
 
@@ -45,6 +50,31 @@ def bench_output_dir() -> str:
     return os.getcwd()
 
 
+def _bench_row(
+    bench: str,
+    config: Dict[str, Union[Number, str]],
+    baseline_ms: float,
+    new_ms: float,
+    qps: Optional[float],
+) -> Dict[str, object]:
+    return {
+        "bench": bench,
+        "config": config,
+        "baseline_ms": round(baseline_ms, 3),
+        "new_ms": round(new_ms, 3),
+        "speedup": round(baseline_ms / new_ms, 3) if new_ms else None,
+        "qps": round(qps, 1) if qps is not None else None,
+    }
+
+
+def _write_payload(bench: str, payload: object) -> str:
+    path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
+    with open(path, "wt", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
 def write_bench_json(
     bench: str,
     config: Dict[str, Union[Number, str]],
@@ -53,16 +83,28 @@ def write_bench_json(
     qps: Optional[float] = None,
 ) -> str:
     """Write one benchmark's headline comparison; returns the file path."""
-    payload = {
-        "bench": bench,
-        "config": config,
-        "baseline_ms": round(baseline_ms, 3),
-        "new_ms": round(new_ms, 3),
-        "speedup": round(baseline_ms / new_ms, 3) if new_ms else None,
-        "qps": round(qps, 1) if qps is not None else None,
-    }
-    path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
-    with open(path, "wt", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    return path
+    return _write_payload(bench, _bench_row(bench, config, baseline_ms, new_ms, qps))
+
+
+def write_bench_rows(
+    bench: str,
+    rows: Sequence[Dict[str, object]],
+) -> str:
+    """Write a multi-row ``BENCH_<bench>.json``; returns the file path.
+
+    Each row is a mapping with the :func:`write_bench_json` keyword
+    arguments (``config``, ``baseline_ms``, ``new_ms``, optional ``qps``):
+    one file comparing several configurations of the same workload against
+    one shared baseline, e.g. snapshot-vs-fast kernel tiers.
+    """
+    payload = [
+        _bench_row(
+            bench,
+            row["config"],
+            row["baseline_ms"],
+            row["new_ms"],
+            row.get("qps"),
+        )
+        for row in rows
+    ]
+    return _write_payload(bench, payload)

@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rounds", type=int, default=None,
                        help="split the query batch into this many rounds "
                             "(default: 4 when --rebalance is active, else 1)")
+    bench.add_argument("--kernel", choices=["snapshot", "fast", "dict"],
+                       default="snapshot",
+                       help="compute kernel: array-backed snapshots (default, "
+                            "bit-identical to dict), the batch-native fast tier "
+                            "(numpy wavefront/batched searches — distance-"
+                            "identical, tie-order free), or the dict-based "
+                            "reference path")
     bench.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
                        default="none",
                        help="admissible lower-bound provider pruning the query "
@@ -158,15 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--k", type=int, default=2)
         sub.add_argument("--engine", choices=["kspdg", "yen", "findksp"], default="kspdg",
                          help="query engine serving cache misses (default kspdg)")
-        sub.add_argument("--kernel", choices=["snapshot", "dict"], default="snapshot",
-                         help="compute kernel: array-backed snapshots (default) or the "
-                              "dict-based reference path; surfaced in the service report")
+        sub.add_argument("--kernel", choices=["snapshot", "fast", "dict"],
+                         default="snapshot",
+                         help="compute kernel: array-backed snapshots (default), the "
+                              "batch-native fast tier (distance-identical, tie-order "
+                              "free), or the dict-based reference path; surfaced in "
+                              "the service report")
         sub.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
                          default="none",
                          help="admissible lower-bound provider pruning the kspdg "
                               "engine's searches (landmark = ALT tables, dtlp = "
                               "reuse the index's lower-bound distances); requires "
-                              "the snapshot kernel, results are bit-identical")
+                              "an array-backed kernel, results are bit-identical")
         sub.add_argument("--workers", type=int, default=4,
                          help="simulated workers for the kspdg engine")
         sub.add_argument("--executor", choices=list(EXECUTORS), default=None,
@@ -309,7 +319,7 @@ def _command_bench(args: argparse.Namespace) -> int:
     rebalance = _rebalance_spec(args)
     with StormTopology(
         dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance,
-        heuristic=args.heuristic,
+        kernel=args.kernel, heuristic=args.heuristic,
     ) as topology:
         executor_name = topology.executor.name
         queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(

@@ -620,7 +620,9 @@ class DTLP:
 
         With ``kernel="snapshot"`` the one-to-many searches run on the
         shared subgraph snapshots (bit-identical distances, array speed);
-        the default keeps the dict-based reference path.
+        ``kernel="fast"`` additionally lets large subgraphs search with the
+        wavefront kernel (identical distances, tie-order free); the default
+        keeps the dict-based reference path.
         """
         assert self._partition is not None
         if self._partition.is_boundary(vertex):
@@ -628,9 +630,9 @@ class DTLP:
         edges: Dict[int, float] = {}
         for subgraph_id in self._partition.subgraphs_of_vertex(vertex):
             index = self._subgraph_indexes[subgraph_id]
-            view = self.subgraph_snapshot(subgraph_id) if kernel == "snapshot" else None
+            view = self.subgraph_snapshot(subgraph_id) if kernel != "dict" else None
             for boundary, distance in index.lower_bounds_from_vertex(
-                vertex, view=view
+                vertex, view=view, fast=kernel == "fast"
             ).items():
                 current = edges.get(boundary)
                 if current is None or distance < current:

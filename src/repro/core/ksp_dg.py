@@ -56,9 +56,13 @@ __all__ = [
 ]
 
 #: Kernel modes accepted across the query/serving stack: ``"snapshot"``
-#: (array-backed fast path, the default) and ``"dict"`` (the dict-of-dict
-#: reference implementation).  See ``ARCHITECTURE.md``.
-KERNELS = ("snapshot", "dict")
+#: (array-backed, bit-identical to the reference — the default), ``"fast"``
+#: (the batch-native tier: snapshot views plus numpy wavefront/batched
+#: searches at the profitable call sites — distance-identical but tie-order
+#: free, falling back to the heap kernel when numpy is missing) and
+#: ``"dict"`` (the dict-of-dict reference implementation).  See
+#: ``ARCHITECTURE.md``, "Batched kernel & identity tiers".
+KERNELS = ("snapshot", "fast", "dict")
 
 
 def validate_kernel(kernel: str) -> str:
@@ -72,13 +76,15 @@ def validate_heuristic_for_kernel(heuristic: str, kernel: str) -> str:
     """Validate a heuristic mode against the selected compute kernel.
 
     The non-trivial heuristics are dense index-space bound arrays, which
-    only exist on the snapshot kernel; requesting them with the dict
-    reference kernel is a configuration error rather than a silent no-op.
+    only exist on the array-backed kernels (``snapshot`` / ``fast``);
+    requesting them with the dict reference kernel is a configuration error
+    rather than a silent no-op.
     """
     validate_heuristic(heuristic)
-    if heuristic != "none" and kernel != "snapshot":
+    if heuristic != "none" and kernel == "dict":
         raise QueryError(
-            f"heuristic {heuristic!r} requires the 'snapshot' kernel, got {kernel!r}"
+            f"heuristic {heuristic!r} requires an array-backed kernel "
+            f"('snapshot' or 'fast'), got {kernel!r}"
         )
     return heuristic
 
@@ -212,7 +218,7 @@ class KSPDGQuery:
         # queries; augmented ones get fresh per-query views, because their
         # attachment edges create shortcuts the cached tables don't know.
         augmented = self._skeleton is not dtlp.skeleton_graph
-        if self._kernel != "snapshot":
+        if self._kernel == "dict":
             search_skeleton = self._skeleton
         elif augmented:
             search_skeleton = CSRSnapshot(self._skeleton)
@@ -239,7 +245,7 @@ class KSPDGQuery:
 
     def _subgraph_view(self, subgraph_id: int):
         """The compute view of one subgraph under the selected kernel."""
-        if self._kernel == "snapshot":
+        if self._kernel != "dict":
             return self._dtlp.subgraph_snapshot(subgraph_id)
         return self._partition.subgraph(subgraph_id)
 
@@ -493,7 +499,7 @@ class KSPDG:
 
     @property
     def kernel(self) -> str:
-        """Compute kernel answering queries (``"snapshot"`` or ``"dict"``)."""
+        """Compute kernel answering queries (one of :data:`KERNELS`)."""
         return self._kernel
 
     @property

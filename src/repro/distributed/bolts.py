@@ -20,10 +20,13 @@ and every inter-component message is charged as communication, so aggregate
 metrics reproduce the cost analysis of Section 5.6.
 
 Bolts compute on the kernel selected at topology construction (see
-``ARCHITECTURE.md``): with ``kernel="snapshot"`` each SubgraphBolt reads its
-subgraphs through the DTLP's shared snapshot cache (persisted across
-micro-batches, refreshed incrementally after ``apply_updates``) and each
-QueryBolt keeps a version-keyed snapshot of its skeleton replica.
+``ARCHITECTURE.md``): with the array-backed kernels (``"snapshot"`` and the
+batch-native ``"fast"`` tier) each SubgraphBolt reads its subgraphs through
+the DTLP's shared snapshot cache (persisted across micro-batches, refreshed
+incrementally after ``apply_updates``) and each QueryBolt keeps a
+version-keyed snapshot of its skeleton replica; ``"fast"`` additionally
+routes large attachment one-to-many searches through the wavefront kernel
+(distance-identical, tie-order free).
 
 Bolts charge their work through an object with the
 :class:`~repro.distributed.cluster.SimulatedCluster` interface — under
@@ -102,7 +105,7 @@ class SubgraphBolt:
         micro-batches and are refreshed incrementally after
         ``apply_updates`` instead of being rebuilt per query.
         """
-        if self._kernel == "snapshot":
+        if self._kernel != "dict":
             return self._dtlp.subgraph_snapshot(subgraph_id)
         return self._partition.subgraph(subgraph_id)
 
@@ -117,7 +120,7 @@ class SubgraphBolt:
         threads lazily building them for the same subgraph mid-batch would
         duplicate real work.
         """
-        if self._kernel != "snapshot":
+        if self._kernel == "dict":
             return
         for subgraph_id in self.subgraph_ids:
             self._dtlp.subgraph_snapshot(subgraph_id)
@@ -265,11 +268,11 @@ class SubgraphBolt:
             index = self._dtlp.subgraph_index(subgraph_id)
             view = (
                 self._dtlp.subgraph_snapshot(subgraph_id)
-                if self._kernel == "snapshot"
+                if self._kernel != "dict"
                 else None
             )
             for boundary, distance in index.lower_bounds_from_vertex(
-                vertex, view=view
+                vertex, view=view, fast=self._kernel == "fast"
             ).items():
                 current = bounds.get(boundary)
                 if current is None or distance < current:
@@ -372,7 +375,7 @@ class QueryBolt:
         mutates it mid-batch.  In landmark mode the shared landmark tables
         are warmed here too, so concurrent queries only ever read them.
         """
-        if self._kernel == "snapshot":
+        if self._kernel != "dict":
             self._dtlp.skeleton_snapshot()
             if self._pruning and self._heuristic == "landmark":
                 self._dtlp.skeleton_lower_bounds()
@@ -406,7 +409,7 @@ class QueryBolt:
             if direct_edge is not None and query.source != query.target:
                 skeleton.update_edge_minimum(query.source, query.target, direct_edge)
         search_skeleton = (
-            self._skeleton_view(skeleton) if self._kernel == "snapshot" else skeleton
+            self._skeleton_view(skeleton) if self._kernel != "dict" else skeleton
         )
         skeleton_bounds = None
         if (

@@ -12,6 +12,11 @@ This package is the performance layer between the mutable graph objects
 * :mod:`~repro.kernel.primitives` — array-native single-source shortest-path
   primitives operating purely in index space, with O(1) edge-weight lookup
   and cheap vertex/edge ban sets for Yen-style spur searches.
+* :mod:`~repro.kernel.wavefront` — the batch-native tier: frontier-at-a-time
+  (delta-stepping) searches and multi-source batching over the same CSR
+  arrays via numpy scatter operations.  Distance-identical to the heap
+  primitives but tie-order free, and optional (numpy-gated with heap
+  fallbacks) — this is what the ``fast`` kernel tier selects.
 
 The generic wrappers in :mod:`repro.algorithms.dijkstra` and
 :mod:`repro.algorithms.yen` accept either a plain graph-like object (the
@@ -33,6 +38,14 @@ from .primitives import (
     reconstruct_indices,
 )
 from .snapshot import CSRSnapshot
+from .wavefront import (
+    batch_one_to_many_paths,
+    batch_shortest_paths,
+    dijkstra_arrays_batch,
+    numpy_available,
+    one_to_many_distances,
+    wavefront_sssp,
+)
 
 __all__ = [
     "CSRSnapshot",
@@ -41,8 +54,14 @@ __all__ = [
     "LandmarkLowerBounds",
     "validate_heuristic",
     "astar_arrays",
+    "batch_one_to_many_paths",
+    "batch_shortest_paths",
     "bounded_dijkstra_arrays",
     "dijkstra_arrays",
+    "dijkstra_arrays_batch",
     "dijkstra_arrays_multi",
+    "numpy_available",
+    "one_to_many_distances",
     "reconstruct_indices",
+    "wavefront_sssp",
 ]

@@ -42,6 +42,9 @@ from ..graph.errors import QueryError
 from ..obs.profile import kernel_counters
 from .primitives import dijkstra_arrays
 from .snapshot import CSRSnapshot
+from .wavefront import WAVEFRONT_MIN_VERTICES
+from .wavefront import np as _np
+from .wavefront import numpy_available, wavefront_sssp
 
 __all__ = [
     "HEURISTICS",
@@ -66,6 +69,14 @@ _INF = float("inf")
 #: comfortably cover a serving batch's working set while bounding a
 #: 1k-vertex skeleton provider to a few MB.
 _BOUNDS_CACHE_LIMIT = 256
+
+#: Snapshot size at which landmark-table SSSPs switch from the heap kernel
+#: to the wavefront kernel (:func:`~repro.kernel.wavefront.wavefront_sssp`).
+#: Both produce bitwise-identical distance tables (the float-fixpoint
+#: argument in :mod:`repro.kernel.wavefront`), so the switch is purely a
+#: build-cost decision: below the shared single-source crossover the heap
+#: loop's small constant wins, above it the numpy sweeps do.
+_BULK_BUILD_MIN_VERTICES = WAVEFRONT_MIN_VERTICES
 
 
 def _cache_bounds(cache: Dict[int, List[float]], key: int, bounds: List[float]) -> None:
@@ -158,32 +169,48 @@ class LandmarkLowerBounds:
         if n == 0:
             return
         count = min(self._num_landmarks, n)
-        reversed_rows = snapshot.reverse().rows if snapshot.directed else None
+        reversed_snapshot = snapshot.reverse() if snapshot.directed else None
         # Farthest-point traversal: the first landmark is the vertex
         # farthest from index 0; every further landmark maximises the
         # minimum distance to the already-selected set.  Unreachable
         # vertices count as infinitely far, so additional components get
         # their own landmark before a component is covered twice.
-        seed_dist, _, _ = dijkstra_arrays(snapshot.rows, n, 0, track_touched=False)
+        seed_dist = self._table_sssp(snapshot, 0)
         first = self._argmax_distance([seed_dist], n, exclude=set())
-        self._add_landmark(first, reversed_rows)
+        self._add_landmark(first, reversed_snapshot)
         while len(self._landmarks) < count:
             candidate = self._argmax_distance(
                 self._forward, n, exclude=set(self._landmarks)
             )
             if candidate is None:
                 break
-            self._add_landmark(candidate, reversed_rows)
+            self._add_landmark(candidate, reversed_snapshot)
 
-    def _add_landmark(self, index: int, reversed_rows) -> None:
-        snapshot = self._snapshot
+    @staticmethod
+    def _table_sssp(snapshot: CSRSnapshot, index: int):
+        """One full distance table (bitwise identical across both kernels).
+
+        Large snapshots build through the wavefront kernel — the numpy-bulk
+        path — and return a float64 ndarray; small ones keep the heap loop
+        (lower constant) and are converted so every stored table is an
+        ndarray whenever numpy is importable.  Without numpy the heap list
+        is stored as-is and the pure-Python fallbacks below take over.
+        """
         n = snapshot.num_vertices
+        if numpy_available() and n >= _BULK_BUILD_MIN_VERTICES:
+            dist, _pred = wavefront_sssp(snapshot, index)
+            return dist
         dist, _, _ = dijkstra_arrays(snapshot.rows, n, index, track_touched=False)
+        if _np is not None:
+            return _np.asarray(dist, dtype=_np.float64)
+        return dist
+
+    def _add_landmark(self, index: int, reversed_snapshot) -> None:
+        snapshot = self._snapshot
         self._landmarks.append(index)
-        self._forward.append(dist)
-        if reversed_rows is not None:
-            rdist, _, _ = dijkstra_arrays(reversed_rows, n, index, track_touched=False)
-            self._reverse.append(rdist)
+        self._forward.append(self._table_sssp(snapshot, index))
+        if reversed_snapshot is not None:
+            self._reverse.append(self._table_sssp(reversed_snapshot, index))
 
     @staticmethod
     def _argmax_distance(
@@ -195,6 +222,21 @@ class LandmarkLowerBounds:
         towards the smallest index.  Returns ``None`` when every vertex is
         excluded.
         """
+        if _np is not None:
+            # Vectorised variant of the loop below: excluded vertices are
+            # forced below every real distance (distances are >= 0), and
+            # ``argmax`` takes the first occurrence of the maximum — the
+            # same smallest-index tie-break as the strict ``>`` scan.
+            merged = _np.minimum.reduce([_np.asarray(table) for table in tables])
+            if exclude:
+                merged = merged.copy()
+                merged[
+                    _np.fromiter(exclude, dtype=_np.int64, count=len(exclude))
+                ] = -1.0
+            best = int(_np.argmax(merged))
+            if merged[best] < 0.0:
+                return None
+            return best
         best_index: Optional[int] = None
         best_value = -1.0
         for i in range(n):
@@ -230,6 +272,11 @@ class LandmarkLowerBounds:
         if prof is not None:
             prof.bound_cache_misses += 1
         n = snapshot.num_vertices
+        if _np is not None:
+            bounds = self._bounds_vectorised(target_index, n)
+            bounds[target_index] = 0.0
+            _cache_bounds(self._bounds_cache, target_index, bounds)
+            return bounds
         bounds = [0.0] * n
         if snapshot.directed:
             for table, rtable in zip(self._forward, self._reverse):
@@ -270,6 +317,43 @@ class LandmarkLowerBounds:
         bounds[target_index] = 0.0
         _cache_bounds(self._bounds_cache, target_index, bounds)
         return bounds
+
+    def _bounds_vectorised(self, target_index: int, n: int) -> List[float]:
+        """numpy twin of the pure-Python bound scan (bitwise identical).
+
+        Same subtract/abs/max float operations in the same per-table order,
+        so the resulting list matches the fallback loop exactly.  Returned
+        as a plain list: callers index it from the heap kernel's inner loop
+        and compare provider outputs with ``==``.
+        """
+        best = _np.zeros(n, dtype=_np.float64)
+        if self._snapshot.directed:
+            for table, rtable in zip(self._forward, self._reverse):
+                to_target = table[target_index]
+                if to_target != _INF:
+                    # d(v, t) >= d(l, t) - d(l, v); unreachable v gives -inf
+                    # which the running max ignores.
+                    _np.maximum(best, to_target - table, out=best)
+                from_target = rtable[target_index]
+                if from_target != _INF:
+                    # d(v, t) >= d(v, l) - d(t, l); vertices that cannot
+                    # reach the landmark contribute nothing.
+                    values = _np.where(
+                        _np.isfinite(rtable), rtable - from_target, 0.0
+                    )
+                    _np.maximum(best, values, out=best)
+        else:
+            for table in self._forward:
+                to_target = table[target_index]
+                if to_target == _INF:
+                    continue
+                # d(v, t) >= |d(l, v) - d(l, t)|; vertices the landmark
+                # cannot reach get no information from this table.
+                values = _np.where(
+                    _np.isfinite(table), _np.abs(table - to_target), 0.0
+                )
+                _np.maximum(best, values, out=best)
+        return best.tolist()
 
 
 class DTLPLowerBounds:

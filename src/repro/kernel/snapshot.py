@@ -85,6 +85,7 @@ class CSRSnapshot:
         "_built_version",
         "_arc_pos",
         "_weights_epoch",
+        "_array_cache",
     )
 
     def __init__(self, source) -> None:
@@ -129,6 +130,9 @@ class CSRSnapshot:
             self._version_source.version if self._version_source is not None else 0
         )
         self._weights_epoch: int = 0
+        # Lazily-built numpy views of the CSR arrays, keyed by the weights
+        # epoch they were materialised at (see :meth:`array_view`).
+        self._array_cache: Optional[Tuple[int, tuple]] = None
 
     # ------------------------------------------------------------------
     # structure accessors
@@ -197,6 +201,47 @@ class CSRSnapshot:
         weights = self.weights
         for e in range(self.indptr[i], self.indptr[i + 1]):
             yield ids[indices[e]], weights[e]
+
+    def array_view(self):
+        """Numpy views of the CSR arrays: ``(indptr, indices, weights)``.
+
+        Materialised lazily (the snapshot itself stays pure-Python lists,
+        which the heap kernel indexes faster) and cached until the next
+        weight refresh — the wavefront kernel
+        (:mod:`repro.kernel.wavefront`) calls this once per search and the
+        conversion cost amortises across every search until the weights
+        change.  Requires numpy; callers gate on
+        :func:`repro.kernel.wavefront.numpy_available`.
+
+        The returned arrays are shared and must not be mutated.
+        """
+        import numpy as np
+
+        epoch = self._weights_epoch
+        cached = self._array_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        view = (
+            np.asarray(self.indptr, dtype=np.int64),
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.weights, dtype=np.float64),
+        )
+        self._array_cache = (epoch, view)
+        return view
+
+    def arc_index_positions(self, pairs) -> List[int]:
+        """Flat CSR positions of index-space arc pairs (absent pairs skipped).
+
+        ``pairs`` iterates over ``(u_index, v_index)`` tuples; used to turn
+        edge-ban sets into positional masks for the wavefront kernel.
+        """
+        arc_pos = self._arc_pos
+        positions: List[int] = []
+        for pair in pairs:
+            pos = arc_pos.get(pair)
+            if pos is not None:
+                positions.append(pos)
+        return positions
 
     def degree(self, vertex: int) -> int:
         """Number of outgoing arcs of ``vertex``."""

@@ -179,7 +179,10 @@ class _CentralizedEngine:
     queries and refreshes it incrementally before each answer — one int
     compare when nothing changed, O(changed edges) after a maintenance
     round; ``kernel="dict"`` answers on the live adjacency dictionaries
-    (the reference path, see ``ARCHITECTURE.md``).
+    (the reference path, see ``ARCHITECTURE.md``).  ``kernel="fast"`` uses
+    the same shared snapshot — the centralized baselines are Yen-style
+    enumerations whose spur searches favour the heap kernel, so the tier
+    differs only in the batched/wavefront call sites further down the stack.
 
     ``executor`` selects the physical backend used by :meth:`answer_many`
     to fan a batch's independent OD pairs out (``"serial"`` — or ``None`` —
@@ -219,7 +222,7 @@ class _CentralizedEngine:
 
     def _view(self):
         """The compute view answering the next query (refreshed snapshot or graph)."""
-        if self.kernel != "snapshot":
+        if self.kernel == "dict":
             return self._graph
         if self._snapshot is None:
             self._snapshot = CSRSnapshot(self._graph)

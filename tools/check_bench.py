@@ -7,11 +7,15 @@ that the README and PR descriptions quote.  Numbers that are quoted get
 stale or mistyped, so CI re-validates the files' *internal consistency* on
 every push:
 
-* required keys are present (``bench``, ``config``, ``baseline_ms``,
-  ``new_ms``, ``speedup``, ``qps``);
-* types are right (``bench`` a string, ``config`` a mapping, the rest
-  numbers — ``qps`` may be ``null`` for benchmarks where throughput is not
-  meaningful);
+* the top level is one benchmark row or a list of rows (multi-row files
+  compare several configurations of one workload, e.g. the kernel file's
+  snapshot-vs-fast rows);
+* required keys are present on every row (``bench``, ``config``,
+  ``baseline_ms``, ``new_ms``, ``speedup``, ``qps``);
+* types are right (``bench`` a string, ``config`` a mapping whose values
+  are JSON scalars — extra per-bench keys such as ``kernel_tier`` or
+  ``batch_size`` are fine — the rest numbers; ``qps`` may be ``null`` for
+  benchmarks where throughput is not meaningful);
 * latencies are positive and finite;
 * ``speedup`` equals ``baseline_ms / new_ms`` within a relative tolerance
   that absorbs the files' 3-decimal rounding.
@@ -51,9 +55,29 @@ def check_file(path: Path) -> List[str]:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
         return [f"{name}: unreadable or invalid JSON ({exc})"]
-    if not isinstance(payload, dict):
-        return [f"{name}: top level must be a JSON object, got {type(payload).__name__}"]
+    if isinstance(payload, dict):
+        return check_row(name, payload)
+    if isinstance(payload, list):
+        if not payload:
+            return [f"{name}: row list must not be empty"]
+        problems: List[str] = []
+        for position, row in enumerate(payload):
+            label = f"{name}[{position}]"
+            if not isinstance(row, dict):
+                problems.append(
+                    f"{label}: each row must be a JSON object, got {type(row).__name__}"
+                )
+                continue
+            problems.extend(check_row(label, row))
+        return problems
+    return [
+        f"{name}: top level must be a JSON object or a list of them, "
+        f"got {type(payload).__name__}"
+    ]
 
+
+def check_row(name: str, payload: dict) -> List[str]:
+    """Validate one benchmark row; returns a list of problem strings."""
     problems: List[str] = []
     for key in REQUIRED_KEYS:
         if key not in payload:
@@ -63,8 +87,18 @@ def check_file(path: Path) -> List[str]:
 
     if not isinstance(payload["bench"], str) or not payload["bench"]:
         problems.append(f"{name}: 'bench' must be a non-empty string")
-    if not isinstance(payload["config"], dict):
+    config = payload["config"]
+    if not isinstance(config, dict):
         problems.append(f"{name}: 'config' must be an object")
+    else:
+        # Arbitrary per-bench keys are allowed (kernel_tier, batch_size,
+        # ...), but values must stay scalar so the rows remain greppable
+        # one-line facts rather than nested reports.
+        for key, value in config.items():
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                problems.append(
+                    f"{name}: config[{key!r}] must be a JSON scalar, got {value!r}"
+                )
 
     for key in ("baseline_ms", "new_ms", "speedup"):
         value = payload[key]
