@@ -1,0 +1,194 @@
+"""Partition quality and cold start: min-cut vs BFS, store load vs rebuild.
+
+Not a paper figure — the paper's Section 3.3 partitions with arbitrary-start
+BFS and never revisits the choice, but everything downstream scales with
+the quantity that partitioner ignores: boundary vertices drive DTLP index
+size, CANDS table builds and every boundary-pair search a query performs.
+This benchmark measures that leverage on a clustered road network (city
+grids joined by sparse highways — the two-scale structure of the paper's
+continental datasets, where partition quality actually matters; uniform
+grids cap any partitioner's gap at around ten percent):
+
+* **boundary vertices** — ``partition_mincut`` (multilevel heavy-edge
+  coarsening + KL/FM refinement) vs the paper's ``partition_graph`` BFS at
+  the same ``z``.  Acceptance floor: at least a 25% reduction.
+* **KSP-DG batch throughput** — the same query batch over a DTLP built on
+  each partition; distances asserted identical first (answers are a
+  function of the graph, not the partition).
+* **cold start** — ``PartitionStore`` load vs full partition + DTLP
+  rebuild, answers asserted identical.  Acceptance floor: load at least
+  5x faster, the O(load)-not-O(rebuild) contract of ``repro.store``.
+
+Emits ``BENCH_partition.json``: one ``kind: "counts"`` row (boundary
+facts) and two timing rows (batch qps, cold start).
+
+Paper map: ``docs/paper_map.md`` ties every benchmark to its figure/table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_experiment, write_bench_rows
+from repro.core import DTLP, DTLPConfig
+from repro.distributed import StormTopology
+from repro.graph import clustered_road_network, partition_graph, partition_mincut
+from repro.store import PartitionStore
+from repro.workloads import QueryGenerator
+
+
+def _run_batch(dtlp, queries):
+    """One cold serial KSP-DG batch; returns (wall seconds, signature)."""
+    topology = StormTopology(dtlp, num_workers=4)
+    with topology:
+        started = time.perf_counter()
+        report = topology.run_queries(queries)
+        elapsed = time.perf_counter() - started
+    signature = [
+        [(path.vertices, path.distance) for path in result.paths]
+        for result in report.results
+    ]
+    return elapsed, signature
+
+
+@pytest.mark.paper_figure("partition")
+def test_partition_quality(scale, benchmark, tmp_path) -> None:
+    if scale.name == "quick":
+        clusters_per_side, rows, cols, z = 3, 8, 8, 64
+    else:
+        clusters_per_side, rows, cols, z = 4, 10, 10, 100
+    xi = 3
+    graph = clustered_road_network(
+        clusters_per_side=clusters_per_side,
+        cluster_rows=rows,
+        cluster_cols=cols,
+        seed=7,
+    )
+    queries = QueryGenerator(graph, seed=11, min_hops=4).generate(16, k=3)
+
+    # --- boundary-vertex counts at equal z --------------------------------
+    bfs_partition = partition_graph(graph, z)
+    mincut_partition = partition_mincut(graph, z)
+    bfs_boundary = len(bfs_partition.boundary_vertices)
+    mincut_boundary = len(mincut_partition.boundary_vertices)
+    reduction = 1.0 - mincut_boundary / bfs_boundary
+
+    # --- KSP-DG batch, same queries, each partition -----------------------
+    timings = {}
+    signatures = {}
+    dtlps = {}
+    for name in ("bfs", "mincut"):
+        dtlp = DTLP(graph, DTLPConfig(z=z, xi=xi, partitioner=name)).build()
+        dtlps[name] = dtlp
+        timings[name], signatures[name] = _run_batch(dtlp, queries)
+
+    # Identity first: the partition must not change what queries return.
+    bfs_distances = [[d for _, d in result] for result in signatures["bfs"]]
+    mincut_distances = [[d for _, d in result] for result in signatures["mincut"]]
+    assert mincut_distances == bfs_distances, "partitioner changed query distances"
+
+    # --- cold start: store load vs full rebuild ---------------------------
+    store_root = tmp_path / "store"
+    PartitionStore.save(dtlps["mincut"], store_root)
+
+    started = time.perf_counter()
+    rebuilt = DTLP(graph, DTLPConfig(z=z, xi=xi, partitioner="mincut")).build()
+    rebuild_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    loaded = PartitionStore(store_root).load(graph)
+    load_seconds = time.perf_counter() - started
+
+    _, rebuilt_signature = _run_batch(rebuilt, queries)
+    _, loaded_signature = _run_batch(loaded, queries)
+    assert loaded_signature == rebuilt_signature, "store load changed answers"
+
+    benchmark.pedantic(
+        lambda: PartitionStore(store_root).load(graph), rounds=1, iterations=1
+    )
+
+    print_experiment(
+        f"Partition quality at z={z} on a clustered road network "
+        f"({graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"{clusters_per_side}x{clusters_per_side} cities)",
+        ["metric", "bfs", "mincut", "change"],
+        [
+            [
+                "boundary vertices",
+                bfs_boundary,
+                mincut_boundary,
+                f"-{reduction:.0%}",
+            ],
+            [
+                "partitions",
+                bfs_partition.num_subgraphs,
+                mincut_partition.num_subgraphs,
+                "",
+            ],
+            [
+                f"KSP-DG batch of {len(queries)} (ms)",
+                round(timings["bfs"] * 1e3, 1),
+                round(timings["mincut"] * 1e3, 1),
+                f"{timings['bfs'] / timings['mincut']:.2f}x",
+            ],
+            [
+                "cold start (ms)",
+                round(rebuild_seconds * 1e3, 1),
+                round(load_seconds * 1e3, 1),
+                f"{rebuild_seconds / load_seconds:.2f}x (store load)",
+            ],
+        ],
+        notes="identical distances asserted between partitions and identical "
+        "answers between store load and fresh rebuild before any timing is "
+        "trusted; cold start compares a full partition+DTLP build against "
+        "PartitionStore.load on the saved index",
+    )
+
+    config = {
+        "scale": scale.name,
+        "network": "clustered",
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "z": z,
+        "xi": xi,
+    }
+    write_bench_rows(
+        "partition",
+        [
+            {
+                "config": dict(config, comparison="boundary_vertices"),
+                "counts": {
+                    "bfs_boundary": bfs_boundary,
+                    "mincut_boundary": mincut_boundary,
+                    "bfs_partitions": bfs_partition.num_subgraphs,
+                    "mincut_partitions": mincut_partition.num_subgraphs,
+                },
+            },
+            {
+                "config": dict(
+                    config, comparison="kspdg_batch_bfs_vs_mincut",
+                    queries=len(queries), k=3,
+                ),
+                "baseline_ms": timings["bfs"] * 1e3,
+                "new_ms": timings["mincut"] * 1e3,
+                "qps": len(queries) / timings["mincut"],
+            },
+            {
+                "config": dict(config, comparison="coldstart_rebuild_vs_load"),
+                "baseline_ms": rebuild_seconds * 1e3,
+                "new_ms": load_seconds * 1e3,
+            },
+        ],
+    )
+
+    # Acceptance floors (ISSUE 8).
+    assert reduction >= 0.25, (
+        f"min-cut boundary reduction {reduction:.0%} below the 25% floor "
+        f"({bfs_boundary} -> {mincut_boundary})"
+    )
+    assert rebuild_seconds / load_seconds >= 5.0, (
+        f"store cold load only {rebuild_seconds / load_seconds:.1f}x faster "
+        f"than a full rebuild (floor: 5x)"
+    )

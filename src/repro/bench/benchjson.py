@@ -19,6 +19,21 @@ kernel file's snapshot-vs-fast rows) call :func:`write_bench_rows` instead,
 producing a top-level *list* of rows with the same per-row schema —
 ``tools/check_bench.py`` validates both shapes.
 
+Rows that report *counts* rather than latencies (e.g. the partition
+benchmark's boundary-vertex comparison) carry ``"kind": "counts"`` and a
+``counts`` mapping of non-negative integers instead of the timing keys::
+
+    {
+      "bench": "partition",
+      "kind": "counts",
+      "config": {...},
+      "counts": {"bfs_boundary": 84, "mincut_boundary": 23}
+    }
+
+``write_bench_rows`` emits a counts row for any input row holding a
+``counts`` key; the checker validates the integers and skips the
+latency/speedup consistency rules for them.
+
 Files land next to ``bench_report.txt`` (the directory of
 ``$REPRO_BENCH_REPORT``, which the benchmark conftest points at the
 repository root by default), so a plain ``pytest benchmarks/`` leaves
@@ -67,6 +82,19 @@ def _bench_row(
     }
 
 
+def _counts_row(
+    bench: str,
+    config: Dict[str, Union[Number, str]],
+    counts: Dict[str, int],
+) -> Dict[str, object]:
+    return {
+        "bench": bench,
+        "kind": "counts",
+        "config": config,
+        "counts": {key: int(value) for key, value in counts.items()},
+    }
+
+
 def _write_payload(bench: str, payload: object) -> str:
     path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
     with open(path, "wt", encoding="utf-8") as handle:
@@ -95,10 +123,14 @@ def write_bench_rows(
     Each row is a mapping with the :func:`write_bench_json` keyword
     arguments (``config``, ``baseline_ms``, ``new_ms``, optional ``qps``):
     one file comparing several configurations of the same workload against
-    one shared baseline, e.g. snapshot-vs-fast kernel tiers.
+    one shared baseline, e.g. snapshot-vs-fast kernel tiers.  A row holding
+    a ``counts`` mapping is written as a ``kind: "counts"`` row (integer
+    facts, no latency keys) instead.
     """
     payload = [
-        _bench_row(
+        _counts_row(bench, row["config"], row["counts"])
+        if "counts" in row
+        else _bench_row(
             bench,
             row["config"],
             row["baseline_ms"],

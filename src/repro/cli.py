@@ -2,7 +2,8 @@
 
 The CLI exposes the main workflows without writing Python code::
 
-    python -m repro generate --dataset NY --out ny.gr
+    python -m repro generate  --dataset NY --out ny.gr
+    python -m repro partition --dataset NY --z 48 --partitioner mincut --out store/
     python -m repro stats    --dataset NY --z 48 --xi 5
     python -m repro query    --dataset NY --source 0 --target 200 --k 3
     python -m repro bench    --dataset NY --num-queries 20 --workers 4
@@ -10,7 +11,11 @@ The CLI exposes the main workflows without writing Python code::
     python -m repro serve    --dataset NY --epochs 10 --queries-per-epoch 40
 
 ``generate`` writes a synthetic road network in DIMACS ``.gr`` format;
-``stats`` builds a DTLP index and prints its statistics; ``query`` answers a
+``partition`` partitions the graph (``--partitioner {bfs,mincut}``), builds
+the DTLP index and saves a partition store (:mod:`repro.store`) that
+``bench``/``replay``/``serve`` reload with ``--store DIR`` for an O(load)
+cold start; ``stats`` builds a DTLP index and prints its statistics;
+``query`` answers a
 single KSP query (and cross-checks it against Yen's algorithm); ``bench``
 runs a query batch on the simulated cluster and prints the cost report.
 ``replay`` replays a reproducible mixed update/query trace through the
@@ -89,6 +94,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_arguments(generate)
     generate.add_argument("--out", required=True, help="output .gr path")
 
+    def add_store_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--partitioner", choices=["bfs", "mincut"], default="bfs",
+                         help="graph partitioner: the paper's BFS sweep or the "
+                              "multilevel min-cut partitioner (fewer boundary "
+                              "vertices, smaller index, faster queries)")
+        sub.add_argument("--store", metavar="DIR", default=None,
+                         help="partition-store directory: load the partition + "
+                              "DTLP index from DIR when it matches the graph "
+                              "(O(load) cold start, stale weights refreshed via "
+                              "the change feed), otherwise build and save it")
+
+    partition = subparsers.add_parser(
+        "partition",
+        help="partition the graph, build the DTLP index and save a partition store")
+    add_graph_arguments(partition)
+    partition.add_argument("--z", type=int, default=48, help="subgraph size threshold")
+    partition.add_argument("--xi", type=int, default=3,
+                           help="bounding paths per boundary pair")
+    partition.add_argument("--partitioner", choices=["bfs", "mincut"], default="mincut",
+                           help="graph partitioner (default mincut; 'bfs' is the "
+                                "paper's Section 3.3 sweep)")
+    partition.add_argument("--out", required=True, metavar="DIR",
+                           help="store directory to write (DGL-style part<k>/ "
+                                "layout + manifest)")
+    partition.add_argument("--workers", type=int, default=4,
+                           help="workers for a parallel index build")
+    partition.add_argument("--executor", choices=list(EXECUTORS), default=None,
+                           help="execution backend building per-subgraph indexes "
+                                "(process workers also write their part<k>/ files "
+                                "in parallel); defaults to $REPRO_EXECUTOR or serial")
+
     stats = subparsers.add_parser("stats", help="build DTLP and print index statistics")
     add_graph_arguments(stats)
     stats.add_argument("--z", type=int, default=48, help="subgraph size threshold")
@@ -115,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser("bench", help="run a query batch on the simulated cluster")
     add_graph_arguments(bench)
+    add_store_arguments(bench)
     bench.add_argument("--z", type=int, default=48)
     bench.add_argument("--xi", type=int, default=3)
     bench.add_argument("--k", type=int, default=2)
@@ -160,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "snakeviz for offline analysis)")
 
     def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        add_store_arguments(sub)
         sub.add_argument("--z", type=int, default=48)
         sub.add_argument("--xi", type=int, default=3)
         sub.add_argument("--k", type=int, default=2)
@@ -256,6 +294,30 @@ def _load_graph(args: argparse.Namespace) -> DynamicGraph:
     raise SystemExit("one of --dataset or --gr is required")
 
 
+def _build_dtlp(args: argparse.Namespace, graph: DynamicGraph) -> DTLP:
+    """Build (or ``--store``-load) the DTLP index the command will query.
+
+    With ``--store DIR`` the index comes from the partition store when the
+    directory matches the graph and configuration (stale weights refreshed
+    through the change feed); otherwise it is built fresh and saved there,
+    so the next invocation cold-starts in O(load).
+    """
+    config = DTLPConfig(
+        z=args.z, xi=args.xi, partitioner=getattr(args, "partitioner", "bfs")
+    )
+    store_dir = getattr(args, "store", None)
+    if not store_dir:
+        return DTLP(graph, config).build()
+    from .store import load_or_build
+
+    started = time.perf_counter()
+    dtlp, loaded = load_or_build(graph, config, store_dir)
+    elapsed = time.perf_counter() - started
+    action = "loaded index from" if loaded else "built index and saved to"
+    print(f"{action} store {store_dir} in {elapsed:.3f}s", file=sys.stderr)
+    return dtlp
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     write_gr(graph, args.out)
@@ -310,16 +372,50 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_partition(args: argparse.Namespace) -> int:
+    from .distributed import distributed_build_report
+    from .store import PartitionStore
+
+    graph = _load_graph(args)
+    config = DTLPConfig(z=args.z, xi=args.xi, partitioner=args.partitioner)
+    started = time.perf_counter()
+    executor = args.executor
+    if executor is not None and executor != "serial":
+        report = distributed_build_report(
+            graph, config, num_workers=args.workers,
+            executor=executor, store_dir=args.out,
+        )
+        dtlp = report.dtlp
+        PartitionStore.save(dtlp, args.out, parts_written=True)
+    else:
+        dtlp = DTLP(graph, config).build()
+        PartitionStore.save(dtlp, args.out)
+    elapsed = time.perf_counter() - started
+    stats = dtlp.statistics()
+    rows = [
+        ["partitioner", args.partitioner],
+        ["vertices", graph.num_vertices],
+        ["edges", graph.num_edges],
+        ["partitions", stats.num_subgraphs],
+        ["boundary vertices", stats.num_boundary_vertices],
+        ["bounding paths", stats.num_bounding_paths],
+        ["build + save (s)", round(elapsed, 4)],
+        ["store", args.out],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+    dtlp = _build_dtlp(args, graph)
     if args.alpha > 0:
         dtlp.attach()
         TrafficModel(graph, alpha=args.alpha, tau=args.tau, seed=args.seed).advance()
     rebalance = _rebalance_spec(args)
     with StormTopology(
         dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance,
-        kernel=args.kernel, heuristic=args.heuristic,
+        kernel=args.kernel, heuristic=args.heuristic, store_path=args.store,
     ) as topology:
         executor_name = topology.executor.name
         queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
@@ -417,11 +513,11 @@ def _build_service(args: argparse.Namespace, graph: DynamicGraph) -> KSPService:
             executor_workers=args.workers,
         )
     else:
-        dtlp = DTLP(graph, DTLPConfig(z=args.z, xi=args.xi)).build()
+        dtlp = _build_dtlp(args, graph)
         engine = KSPDGEngine.local(
             dtlp, num_workers=args.workers, kernel=args.kernel,
             executor=args.executor, rebalance=rebalance,
-            heuristic=args.heuristic,
+            heuristic=args.heuristic, store_path=args.store,
         )
     if rebalance_enabled and args.engine != "kspdg":
         print(
@@ -549,6 +645,7 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _command_generate,
+    "partition": _command_partition,
     "stats": _command_stats,
     "query": _command_query,
     "bench": _command_bench,

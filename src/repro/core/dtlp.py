@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..graph.errors import IndexStateError
 from ..graph.graph import DynamicGraph, WeightUpdate
-from ..graph.partition import GraphPartition, partition_graph
+from ..graph.partition import GraphPartition
+from ..graph.partition_ml import make_partition
 from ..graph.paths import Path
 from ..kernel.heuristics import DTLPLowerBounds, LandmarkLowerBounds
 from ..kernel.snapshot import CSRSnapshot
@@ -72,6 +73,12 @@ class DTLPConfig:
     max_paths_per_count, max_expansions:
         Bounding-path search limits; see
         :func:`repro.core.bounding_paths.compute_bounding_paths`.
+    partitioner:
+        Which partitioner :meth:`DTLP.build` uses when no pre-computed
+        partition is supplied: ``"bfs"`` (the paper's Section 3.3 sweep)
+        or ``"mincut"`` (the multilevel min-cut partitioner of
+        :mod:`repro.graph.partition_ml`).  Ignored when a partition is
+        passed explicitly.
     """
 
     z: int = 200
@@ -82,6 +89,7 @@ class DTLPConfig:
     lsh_num_bands: int = 4
     max_paths_per_count: int = 4
     max_expansions: int = 20_000
+    partitioner: str = "bfs"
 
 
 @dataclass
@@ -148,16 +156,7 @@ class DTLP:
         if self._config.directed != graph.directed:
             # Directedness follows the graph: a directed graph always uses
             # the directed index and vice versa.
-            self._config = DTLPConfig(
-                z=self._config.z,
-                xi=self._config.xi,
-                directed=graph.directed,
-                build_mfp_trees=self._config.build_mfp_trees,
-                lsh_num_hashes=self._config.lsh_num_hashes,
-                lsh_num_bands=self._config.lsh_num_bands,
-                max_paths_per_count=self._config.max_paths_per_count,
-                max_expansions=self._config.max_expansions,
-            )
+            self._config = replace(self._config, directed=graph.directed)
         self._partition = partition
         self._subgraph_indexes: Dict[int, SubgraphIndex] = {}
         # Lazily built per-subgraph kernel snapshots, shared by every
@@ -428,7 +427,9 @@ class DTLP:
         """
         started = time.perf_counter()
         if self._partition is None:
-            self._partition = partition_graph(self._graph, self._config.z)
+            self._partition = make_partition(
+                self._graph, self._config.z, partitioner=self._config.partitioner
+            )
         self._subgraph_indexes.clear()
         self._subgraph_snapshots.clear()
         self._partial_memo.clear()
@@ -471,6 +472,64 @@ class DTLP:
         self._built = True
         self._build_seconds = time.perf_counter() - started
         return self
+
+    @classmethod
+    def assemble(
+        cls,
+        graph: DynamicGraph,
+        config: DTLPConfig,
+        partition: GraphPartition,
+        indexes: Mapping[int, SubgraphIndex],
+        skeleton: Optional[SkeletonGraph] = None,
+    ) -> "DTLP":
+        """Construct a *built* DTLP from restored components.
+
+        This is the partition store's load path: the expensive first-level
+        indexes arrive already built (restored through
+        :meth:`SubgraphIndex.from_state` against the live partition), so
+        assembly only validates coverage, installs the indexes and either
+        adopts the stored ``skeleton`` or recomputes it from the indexes'
+        lower bounds — both orders of magnitude cheaper than the
+        bounding-path searches :meth:`build` runs.
+        """
+        started = time.perf_counter()
+        dtlp = cls(graph, config, partition)
+        expected = {s.subgraph_id for s in partition.subgraphs}
+        if set(indexes) != expected:
+            raise IndexStateError(
+                "restored indexes do not cover the partition: got "
+                f"{sorted(indexes)}, expected {sorted(expected)}"
+            )
+        for subgraph in partition.subgraphs:
+            index = indexes[subgraph.subgraph_id]
+            if not index.built:
+                raise IndexStateError(
+                    f"restored index for subgraph {subgraph.subgraph_id} "
+                    "was never built"
+                )
+            index.rebind(subgraph)
+            dtlp._subgraph_indexes[subgraph.subgraph_id] = index
+        if skeleton is not None:
+            dtlp._skeleton = skeleton
+        else:
+            dtlp._rebuild_skeleton()
+        if dtlp._config.build_mfp_trees:
+            dtlp._build_mfp_forests()
+        dtlp._built = True
+        dtlp._build_seconds = time.perf_counter() - started
+        return dtlp
+
+    def adopt_skeleton_landmarks(self, state: Dict[str, object]) -> None:
+        """Install stored ALT landmark tables for the skeleton graph.
+
+        Only valid when the skeleton's weights are identical to what they
+        were when the tables were exported (the store checks its weights
+        fingerprint before calling this); a later weight change invalidates
+        the tables through the snapshot's weights epoch as usual.
+        """
+        self._skeleton_landmarks = LandmarkLowerBounds.from_tables(
+            self.skeleton_snapshot(), state
+        )
 
     def _rebuild_skeleton(self) -> None:
         """Recompute every skeleton edge from the per-subgraph lower bounds."""

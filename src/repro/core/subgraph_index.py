@@ -218,6 +218,80 @@ class SubgraphIndex:
         return self
 
     # ------------------------------------------------------------------
+    # serialization (repro.store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Plain-data snapshot of the built index for the partition store.
+
+        The snapshot captures only the stable, expensive-to-recompute part
+        of the index: the bounding paths and their pair table.  The EP-Index
+        is reconstructed from the paths on restore and the sorted unit
+        weights are rebuilt from the live subgraph (so they are always
+        current).  Vertex ids are *global*; the store layer remaps them to
+        per-partition local ids on disk.
+        """
+        if not self._built:
+            raise IndexStateError("SubgraphIndex.build() must run before export")
+        paths = [
+            [path.path_id, path.source, path.target,
+             list(path.vertices), path.vfrag_count, path.distance]
+            for _, path in sorted(self._paths_by_id.items())
+        ]
+        pairs = [
+            [key[0], key[1], list(path_ids)]
+            for key, path_ids in sorted(self._paths_by_pair.items())
+        ]
+        return {
+            "subgraph_id": self._subgraph.subgraph_id,
+            "xi": self._xi,
+            "directed": self._directed,
+            "max_paths_per_count": self._max_paths_per_count,
+            "max_expansions": self._max_expansions,
+            "build_seconds": self._build_seconds,
+            "paths": paths,
+            "pairs": pairs,
+        }
+
+    @classmethod
+    def from_state(cls, subgraph: Subgraph, state: Dict[str, object]) -> "SubgraphIndex":
+        """Rebuild a built index from :meth:`export_state` output.
+
+        ``subgraph`` must be the live subgraph the snapshot was taken of
+        (same id, vertices and edges); stored path distances reflect the
+        weights at save time, so the caller refreshes stale edges through
+        :meth:`apply_updates` afterwards.
+        """
+        if int(state["subgraph_id"]) != subgraph.subgraph_id:
+            raise IndexStateError(
+                f"stored index is for subgraph {state['subgraph_id']}, "
+                f"not {subgraph.subgraph_id}"
+            )
+        index = cls(
+            subgraph,
+            xi=int(state["xi"]),
+            directed=bool(state["directed"]),
+            max_paths_per_count=int(state["max_paths_per_count"]),
+            max_expansions=int(state["max_expansions"]),
+        )
+        for path_id, source, target, vertices, vfrags, distance in state["paths"]:
+            bounding_path = BoundingPath(
+                path_id=int(path_id),
+                source=int(source),
+                target=int(target),
+                vertices=tuple(int(v) for v in vertices),
+                vfrag_count=int(vfrags),
+                distance=float(distance),
+            )
+            index._paths_by_id[bounding_path.path_id] = bounding_path
+            index._ep_index.add_path(bounding_path.path_id, bounding_path.vertices)
+        for u, v, path_ids in state["pairs"]:
+            index._paths_by_pair[(int(u), int(v))] = [int(i) for i in path_ids]
+        index._unit_weights = SortedUnitWeights(subgraph)
+        index._built = True
+        index._build_seconds = float(state.get("build_seconds", 0.0))
+        return index
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def apply_updates(self, updates: Sequence[WeightUpdate]) -> Set[Tuple[int, int]]:

@@ -19,7 +19,8 @@ from ..core.dtlp import DTLP, DTLPConfig
 from ..core.subgraph_index import SubgraphIndex
 from ..exec import Executor, resolve_executor
 from ..graph.graph import DynamicGraph
-from ..graph.partition import GraphPartition, partition_graph
+from ..graph.partition import GraphPartition
+from ..graph.partition_ml import make_partition
 from ..workloads.queries import KSPQuery
 from ..workloads.runner import QueryOutcome
 from .cluster import SimulatedCluster
@@ -54,6 +55,7 @@ class KSPDGEngine:
         rebalance: Union[None, bool, float, str] = None,
         heuristic: str = "none",
         pruning: bool = True,
+        store_path: Optional[str] = None,
     ) -> "KSPDGEngine":
         """Build an engine on a fresh simulated topology over ``dtlp``.
 
@@ -64,8 +66,10 @@ class KSPDGEngine:
         compute path of the bolts (array snapshots by default),
         ``executor`` the physical backend running query batches,
         ``rebalance`` enables load-adaptive placement with live subgraph
-        migration, and ``heuristic``/``pruning`` configure the
-        goal-directed pruned query kernel (see ``ARCHITECTURE.md``).
+        migration, ``heuristic``/``pruning`` configure the goal-directed
+        pruned query kernel (see ``ARCHITECTURE.md``), and ``store_path``
+        lets process replicas cold-start from a partition store instead of
+        a pickled bundle (see :mod:`repro.store`).
         """
         return cls(
             StormTopology(
@@ -77,6 +81,7 @@ class KSPDGEngine:
                 rebalance=rebalance,
                 heuristic=heuristic,
                 pruning=pruning,
+                store_path=store_path,
             )
         )
 
@@ -179,16 +184,19 @@ class DistributedBuildReport:
 
 
 def _build_index_chunk(
-    task: Tuple[GraphPartition, DTLPConfig, Tuple[int, ...]],
+    task: Tuple[GraphPartition, DTLPConfig, Tuple[int, ...], Optional[str]],
 ) -> Dict[int, SubgraphIndex]:
     """Build the first-level indexes of one chunk of subgraphs.
 
     Module-level so the process backend can ship it; the partition travels
     with the chunk (its parent graph is pickled once per worker, not per
-    subgraph).
+    subgraph).  When ``store_dir`` is set, the worker also writes each
+    subgraph's ``part<k>/`` files — the parallel half of a partition-store
+    save, done here so the (potentially large) serialized index state never
+    travels back through the result pipe just to be written by the parent.
     """
-    partition, config, subgraph_ids = task
-    return {
+    partition, config, subgraph_ids, store_dir = task
+    indexes = {
         subgraph_id: SubgraphIndex(
             partition.subgraph(subgraph_id),
             xi=config.xi,
@@ -198,6 +206,18 @@ def _build_index_chunk(
         ).build()
         for subgraph_id in subgraph_ids
     }
+    if store_dir is not None:
+        from pathlib import Path
+
+        from ..store.partition_store import write_partition_files
+
+        for subgraph_id, index in indexes.items():
+            write_partition_files(
+                Path(store_dir) / f"part{subgraph_id}",
+                partition.subgraph(subgraph_id),
+                index,
+            )
+    return indexes
 
 
 def distributed_build_report(
@@ -205,6 +225,7 @@ def distributed_build_report(
     config: DTLPConfig,
     num_workers: int,
     executor: Union[str, Executor, None] = "serial",
+    store_dir: Optional[str] = None,
 ) -> DistributedBuildReport:
     """Build a DTLP index and report its distributed construction cost.
 
@@ -218,11 +239,28 @@ def distributed_build_report(
     built in parallel — chunked by the same balanced assignment — and
     adopted into the final index, and ``parallel_build_seconds`` is the
     measured wall-clock time of that fan-out.
+
+    ``store_dir`` additionally makes each worker write its chunk's
+    partition-store ``part<k>/`` files while the index state is hot in its
+    memory (see :mod:`repro.store`); the caller finishes the save with
+    ``PartitionStore.save(dtlp, store_dir, parts_written=True)``.  With the
+    serial backend the files are written inline after the build.
     """
     exec_obj, owned = resolve_executor(executor, workers=num_workers)
     try:
         if exec_obj.name == "serial":
             dtlp = DTLP(graph, config).build()
+            if store_dir is not None:
+                from pathlib import Path
+
+                from ..store.partition_store import write_partition_files
+
+                for subgraph in dtlp.partition.subgraphs:
+                    write_partition_files(
+                        Path(store_dir) / f"part{subgraph.subgraph_id}",
+                        subgraph,
+                        dtlp.subgraph_index(subgraph.subgraph_id),
+                    )
             per_subgraph_seconds = {
                 subgraph_id: index.build_seconds
                 for subgraph_id, index in dtlp.subgraph_indexes().items()
@@ -244,9 +282,10 @@ def distributed_build_report(
 
         # Concurrent path: partition first, fan the independent per-subgraph
         # builds out over the backend, then adopt the results.
-        partition = partition_graph(graph, config.z)
-        dtlp = DTLP(graph, config, partition=partition)
+        dtlp = DTLP(graph, config)
         config = dtlp.config  # normalised (directedness follows the graph)
+        partition = make_partition(graph, config.z, partitioner=config.partitioner)
+        dtlp = DTLP(graph, config, partition=partition)
         loads = {
             subgraph.subgraph_id: float(subgraph.num_vertices)
             for subgraph in partition.subgraphs
@@ -256,7 +295,8 @@ def distributed_build_report(
         for subgraph_id, worker_id in assignment.items():
             chunks.setdefault(worker_id, []).append(subgraph_id)
         tasks = [
-            (partition, config, tuple(sorted(subgraph_ids)))
+            (partition, config, tuple(sorted(subgraph_ids)),
+             None if store_dir is None else str(store_dir))
             for _, subgraph_ids in sorted(chunks.items())
         ]
         started = time.perf_counter()

@@ -37,7 +37,7 @@ handed to :meth:`repro.exec.base.Executor.spawn_group`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.dtlp import DTLP
 from ..graph.graph import WeightUpdate
@@ -68,9 +68,17 @@ class TopologyBundle:
     SubgraphBolt fan-out order determines communication accounting — while
     leaving master-side wiring (accountants, locks, executor handles)
     behind.
+
+    Two shipping modes exist.  The classic one pickles the whole graph +
+    DTLP through ``dtlp``.  When the topology sits on a partition store
+    (:mod:`repro.store`), ``dtlp`` is ``None`` and the bundle instead
+    carries ``store_path`` — each worker then reconstructs graph and index
+    from the on-disk partition files (O(load), no index pickle crosses the
+    pipe) and applies ``catchup``, the master-computed weight delta since
+    the store was saved, to reach the master's exact state at spawn time.
     """
 
-    dtlp: DTLP
+    dtlp: Optional[DTLP]
     kernel: str
     num_workers: int
     #: Ordered ``(name, worker_id, subgraph_ids)`` specs.
@@ -83,14 +91,34 @@ class TopologyBundle:
     #: Goal-directed pruning configuration (mirrors the master topology's).
     heuristic: str = "none"
     pruning: bool = True
+    #: Partition-store directory to cold-start from when ``dtlp`` is None.
+    store_path: Optional[str] = None
+    #: Weight updates bringing a store-loaded replica to the master's
+    #: weights as of bundle time.
+    catchup: Tuple[WeightUpdate, ...] = ()
 
 
 class TopologyReplica:
     """Resident copy of the topology inside one executor worker process."""
 
     def __init__(self, bundle: TopologyBundle) -> None:
-        self._dtlp = bundle.dtlp
-        self._graph = bundle.dtlp.graph
+        if bundle.dtlp is not None:
+            self._dtlp = bundle.dtlp
+        else:
+            # Store-shipped bundle: rebuild graph and index from the
+            # partition files (tier-1 load — the reconstructed graph
+            # carries exactly the stored weights), then catch up to the
+            # master's weights at bundle time.
+            from ..store.partition_store import PartitionStore
+
+            store = PartitionStore(bundle.store_path)
+            graph = store.load_graph()
+            self._dtlp = store.load(graph)
+            if bundle.catchup:
+                catchup = list(bundle.catchup)
+                graph.apply_updates(catchup)
+                self._dtlp.handle_updates(catchup)
+        self._graph = self._dtlp.graph
         self._kernel = bundle.kernel
         self._heuristic = bundle.heuristic
         self._pruning = bundle.pruning

@@ -165,12 +165,18 @@ class StormTopology:
         pruning: bool = True,
         tracer: Optional[TraceSession] = None,
         kernel_profiling: Optional[bool] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         if not dtlp.built:
             raise ClusterError("the DTLP index must be built before deploying a topology")
         if query_bolts_per_worker < 1:
             raise ClusterError("query_bolts_per_worker must be at least 1")
         self._dtlp = dtlp
+        # Partition-store directory the index was saved to (or loaded
+        # from).  When set, process replicas are spawned from the store's
+        # partition files plus a catch-up weight delta instead of a pickled
+        # graph + index (see TopologyBundle).
+        self._store_path = str(store_path) if store_path is not None else None
         self._kernel = validate_kernel(kernel)
         self._heuristic = validate_heuristic_for_kernel(heuristic, self._kernel)
         self._pruning = pruning
@@ -627,9 +633,33 @@ class StormTopology:
         return results
 
     def _make_bundle(self) -> TopologyBundle:
-        """Capture the live topology state for replica construction."""
+        """Capture the live topology state for replica construction.
+
+        With a partition store attached, the bundle ships the store *path*
+        and a catch-up weight delta instead of the pickled graph + index —
+        each worker cold-starts from the partition files.  A store that no
+        longer matches the live graph (e.g. overwritten on disk) falls back
+        to the classic whole-state pickle rather than failing the spawn.
+        """
+        dtlp: Optional[DTLP] = self._dtlp
+        store_path = None
+        catchup: tuple = ()
+        if self._store_path is not None:
+            from ..store.partition_store import PartitionStore, StoreError
+
+            try:
+                store = PartitionStore(self._store_path)
+                catchup = tuple(store.stale_updates(self._dtlp.graph))
+                dtlp = None
+                store_path = self._store_path
+            except StoreError:
+                dtlp = self._dtlp
+                store_path = None
+                catchup = ()
         return TopologyBundle(
-            dtlp=self._dtlp,
+            dtlp=dtlp,
+            store_path=store_path,
+            catchup=catchup,
             kernel=self._kernel,
             heuristic=self._heuristic,
             pruning=self._pruning,

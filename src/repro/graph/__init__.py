@@ -13,12 +13,19 @@ from .errors import (
     VertexNotFoundError,
 )
 from .graph import DirectedDynamicGraph, DynamicGraph, WeightUpdate, edge_key
-from .partition import GraphPartition, partition_graph
+from .partition import GraphPartition, assemble_partition, partition_graph
+from .partition_ml import (
+    PARTITIONERS,
+    make_partition,
+    partition_mincut,
+    vertex_weights_from_subgraph_costs,
+)
 from .paths import Path, is_simple, merge_paths, path_edges
 from .subgraph import SortedUnitWeights, Subgraph
 from .generators import (
     DATASET_SPECS,
     RoadNetworkSpec,
+    clustered_road_network,
     dataset,
     grid_graph,
     random_graph,
@@ -43,6 +50,11 @@ __all__ = [
     "edge_key",
     "GraphPartition",
     "partition_graph",
+    "assemble_partition",
+    "partition_mincut",
+    "make_partition",
+    "vertex_weights_from_subgraph_costs",
+    "PARTITIONERS",
     "Path",
     "is_simple",
     "merge_paths",
@@ -51,6 +63,7 @@ __all__ = [
     "SortedUnitWeights",
     "RoadNetworkSpec",
     "DATASET_SPECS",
+    "clustered_road_network",
     "dataset",
     "grid_graph",
     "random_graph",

@@ -36,6 +36,7 @@ __all__ = [
     "RoadNetworkSpec",
     "DATASET_SPECS",
     "road_network",
+    "clustered_road_network",
     "dataset",
     "random_graph",
     "grid_graph",
@@ -251,6 +252,102 @@ def road_network(
                 result.add_edge(v, u, weight)
     _ensure_connected(result)
     return result
+
+
+def clustered_road_network(
+    clusters_per_side: int = 3,
+    cluster_rows: int = 8,
+    cluster_cols: int = 8,
+    seed: int = 7,
+    highways_per_border: int = 2,
+    highway_weight_factor: float = 3.0,
+    min_weight: float = 2.0,
+    max_weight: float = 12.0,
+    directed: bool = False,
+) -> DynamicGraph:
+    """Generate a metro-cluster road network: city grids + sparse highways.
+
+    Continental road networks (the paper's COL, CUSA) are not uniform
+    grids: they are dense metropolitan street networks connected by a
+    sparse interstate skeleton.  This generator reproduces that two-scale
+    structure — a ``clusters_per_side x clusters_per_side`` arrangement of
+    ``cluster_rows x cluster_cols`` street grids, with adjacent cities
+    linked by ``highways_per_border`` highway edges whose travel times are
+    ``highway_weight_factor`` longer than a city block.
+
+    The two-scale structure is what makes partition *quality* matter: a
+    partitioner that aligns subgraph borders with the sparse highway
+    corridors produces dramatically fewer boundary vertices than one that
+    lets subgraphs straddle cities, which is why the partition-quality
+    benchmark uses this network (uniform grids cap the achievable gap at
+    around ten percent regardless of partitioner).
+
+    Vertex ids are contiguous per city, row-major inside each city.
+    """
+    rng = random.Random(seed)
+    cluster_size = cluster_rows * cluster_cols
+    graph: DynamicGraph = DirectedDynamicGraph() if directed else DynamicGraph()
+
+    def vertex_id(cluster_row: int, cluster_col: int, r: int, c: int) -> int:
+        cluster_index = cluster_row * clusters_per_side + cluster_col
+        return cluster_index * cluster_size + r * cluster_cols + c
+
+    def travel_time() -> float:
+        return float(rng.randint(int(min_weight), int(max_weight)))
+
+    def add_road(u: int, v: int, weight: float) -> None:
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, weight)
+            if directed:
+                graph.add_edge(v, u, weight)
+
+    # City street grids.
+    for cluster_row in range(clusters_per_side):
+        for cluster_col in range(clusters_per_side):
+            for r in range(cluster_rows):
+                for c in range(cluster_cols):
+                    graph.add_vertex(vertex_id(cluster_row, cluster_col, r, c))
+            for r in range(cluster_rows):
+                for c in range(cluster_cols):
+                    here = vertex_id(cluster_row, cluster_col, r, c)
+                    if c + 1 < cluster_cols:
+                        add_road(
+                            here,
+                            vertex_id(cluster_row, cluster_col, r, c + 1),
+                            travel_time(),
+                        )
+                    if r + 1 < cluster_rows:
+                        add_road(
+                            here,
+                            vertex_id(cluster_row, cluster_col, r + 1, c),
+                            travel_time(),
+                        )
+
+    # Highways between horizontally and vertically adjacent cities.
+    def highway_weight() -> float:
+        return float(
+            round(rng.randint(int(min_weight), int(max_weight)) * highway_weight_factor)
+        )
+
+    for cluster_row in range(clusters_per_side):
+        for cluster_col in range(clusters_per_side):
+            if cluster_col + 1 < clusters_per_side:
+                for _ in range(highways_per_border):
+                    r = rng.randrange(cluster_rows)
+                    add_road(
+                        vertex_id(cluster_row, cluster_col, r, cluster_cols - 1),
+                        vertex_id(cluster_row, cluster_col + 1, r, 0),
+                        highway_weight(),
+                    )
+            if cluster_row + 1 < clusters_per_side:
+                for _ in range(highways_per_border):
+                    c = rng.randrange(cluster_cols)
+                    add_road(
+                        vertex_id(cluster_row, cluster_col, cluster_rows - 1, c),
+                        vertex_id(cluster_row + 1, cluster_col, 0, c),
+                        highway_weight(),
+                    )
+    return graph
 
 
 def _ensure_connected(graph: DynamicGraph) -> None:

@@ -14,6 +14,24 @@ result in :class:`GraphPartition`, which records
 * for every edge, which subgraph owns it,
 
 all of which the DTLP index and the KSP-DG query algorithm need.
+
+Determinism contract
+--------------------
+Partition identity must be reproducible — the on-disk partition store
+(:mod:`repro.store`) fingerprints partitions, and a partition that varied
+from run to run would make every saved store permanently stale.  Both
+phases are therefore pinned to sorted iteration orders:
+
+* Phase 1 (vertex blocks) seeds BFS from the *smallest* vertex id, drains
+  frontier vertices in FIFO order, and visits neighbours in sorted order;
+  exhausted frontiers fall back to the smallest unvisited vertex id.
+* Phase 2 (edge assignment) iterates edges sorted by canonical key, so
+  cross-edge ownership (and with it the boundary-vertex set) does not
+  depend on the order in which edges were inserted into the graph.
+
+Vertex ids are ints and ``hash(int)`` is value-based in CPython, so none of
+this depends on ``PYTHONHASHSEED``; ``tests/test_partition.py`` pins the
+exact partition of a reference graph as a regression test.
 """
 
 from __future__ import annotations
@@ -25,7 +43,7 @@ from .errors import PartitionError, VertexNotFoundError
 from .graph import DynamicGraph, edge_key
 from .subgraph import Subgraph
 
-__all__ = ["GraphPartition", "partition_graph"]
+__all__ = ["GraphPartition", "partition_graph", "assemble_partition"]
 
 
 class GraphPartition:
@@ -175,6 +193,61 @@ class GraphPartition:
         )
 
 
+def assemble_partition(
+    graph: DynamicGraph,
+    blocks: Sequence[Sequence[int]],
+) -> GraphPartition:
+    """Turn disjoint vertex *blocks* into a :class:`GraphPartition`.
+
+    This is the shared "phase 2" of every partitioner (BFS here, the
+    multilevel min-cut partitioner in :mod:`repro.graph.partition_ml`):
+    given blocks that are pairwise disjoint and cover every vertex, assign
+    each edge to exactly one block and adopt foreign endpoints of cross
+    edges as boundary vertices.
+
+    * An edge whose endpoints share a block belongs to that block.
+    * A *cross* edge is assigned to whichever of the two blocks is
+      currently smaller (ties to the first endpoint's block), and the
+      foreign endpoint is added to the owner as a shared vertex — the
+      boundary vertices of Definition 5.
+
+    Edges are processed in sorted canonical-key order so the assignment —
+    and therefore the boundary-vertex set and store fingerprints — is
+    independent of graph insertion order (see the module docstring).
+    """
+    block_of: Dict[int, int] = {}
+    for block_id, block in enumerate(blocks):
+        for vertex in block:
+            if vertex in block_of:
+                raise PartitionError(f"vertex {vertex} appears in two blocks")
+            block_of[vertex] = block_id
+
+    def canonical(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if graph.directed else edge_key(u, v)
+
+    block_vertices: List[Set[int]] = [set(block) for block in blocks]
+    block_edges: List[Set[Tuple[int, int]]] = [set() for _ in blocks]
+    for key in sorted({canonical(u, v) for u, v, _ in graph.edges()}):
+        home_u, home_v = block_of[key[0]], block_of[key[1]]
+        if home_u == home_v:
+            block_edges[home_u].add(key)
+            continue
+        # Assign the cross edge to the currently smaller subgraph so adopted
+        # boundary vertices spread evenly, and adopt the foreign endpoint.
+        if len(block_vertices[home_u]) <= len(block_vertices[home_v]):
+            owner, foreign = home_u, key[1]
+        else:
+            owner, foreign = home_v, key[0]
+        block_edges[owner].add(key)
+        block_vertices[owner].add(foreign)
+
+    subgraphs = [
+        Subgraph(index, graph, vertices, edges)
+        for index, (vertices, edges) in enumerate(zip(block_vertices, block_edges))
+    ]
+    return GraphPartition(graph, subgraphs)
+
+
 def partition_graph(
     graph: DynamicGraph,
     max_vertices: int,
@@ -194,6 +267,12 @@ def partition_graph(
        blocks) is assigned to exactly one of the two subgraphs, and the
        foreign endpoint is added to that subgraph as a shared vertex.  The
        shared vertices are exactly the boundary vertices of Definition 5.
+       This phase is :func:`assemble_partition`, shared with the min-cut
+       partitioner.
+
+    Both phases use sorted iteration orders only (see the module docstring),
+    so the same graph always yields the same partition regardless of edge
+    insertion order or ``PYTHONHASHSEED``.
 
     The result satisfies the paper's partition contract: subgraphs may share
     vertices but never edges, and together they cover all vertices and all
@@ -226,13 +305,9 @@ def partition_graph(
     elif not graph.has_vertex(start_vertex):
         raise VertexNotFoundError(start_vertex)
 
-    def canonical(u: int, v: int) -> Tuple[int, int]:
-        return (u, v) if graph.directed else edge_key(u, v)
-
     # ------------------------------------------------------------------
     # Phase 1: disjoint BFS vertex blocks of at most ``max_vertices``.
     # ------------------------------------------------------------------
-    block_of: Dict[int, int] = {}
     blocks: List[List[int]] = []
     visited: Set[int] = set()
     pending = deque([start_vertex])
@@ -252,14 +327,12 @@ def partition_graph(
         seed = next_unvisited()
         if seed is None:
             break
-        block_id = len(blocks)
         block: List[int] = []
         queue = deque([seed])
         visited.add(seed)
         while queue and len(block) < max_vertices:
             vertex = queue.popleft()
             block.append(vertex)
-            block_of[vertex] = block_id
             for neighbor in sorted(graph.neighbors(vertex)):
                 if neighbor not in visited:
                     if len(block) + len(queue) < max_vertices:
@@ -275,27 +348,6 @@ def partition_graph(
         blocks.append(block)
 
     # ------------------------------------------------------------------
-    # Phase 2: edge assignment and boundary-vertex adoption.
+    # Phase 2: edge assignment and boundary-vertex adoption (shared).
     # ------------------------------------------------------------------
-    block_vertices: List[Set[int]] = [set(block) for block in blocks]
-    block_edges: List[Set[Tuple[int, int]]] = [set() for _ in blocks]
-    for u, v, _ in graph.edges():
-        key = canonical(u, v)
-        home_u, home_v = block_of[key[0]], block_of[key[1]]
-        if home_u == home_v:
-            block_edges[home_u].add(key)
-            continue
-        # Assign the cross edge to the currently smaller subgraph so adopted
-        # boundary vertices spread evenly, and adopt the foreign endpoint.
-        if len(block_vertices[home_u]) <= len(block_vertices[home_v]):
-            owner, foreign = home_u, key[1]
-        else:
-            owner, foreign = home_v, key[0]
-        block_edges[owner].add(key)
-        block_vertices[owner].add(foreign)
-
-    subgraphs = [
-        Subgraph(index, graph, vertices, edges)
-        for index, (vertices, edges) in enumerate(zip(block_vertices, block_edges))
-    ]
-    return GraphPartition(graph, subgraphs)
+    return assemble_partition(graph, blocks)

@@ -212,6 +212,52 @@ class LandmarkLowerBounds:
         if reversed_snapshot is not None:
             self._reverse.append(self._table_sssp(reversed_snapshot, index))
 
+    # ------------------------------------------------------------------
+    # serialization (repro.store)
+    # ------------------------------------------------------------------
+    def export_tables(self) -> Dict[str, object]:
+        """Plain-data snapshot of the landmark tables for the partition store.
+
+        Tables are stored in the snapshot's index space; restoring them is
+        only valid against a snapshot with the same vertex ordering and the
+        same weights (the store checks both via its fingerprints before
+        reusing stored tables — otherwise it lets the provider rebuild).
+        """
+        self._ensure_current()
+        return {
+            "num_landmarks": self._num_landmarks,
+            "landmarks": [int(i) for i in self._landmarks],
+            "forward": [[float(x) for x in table] for table in self._forward],
+            "reverse": [[float(x) for x in table] for table in self._reverse],
+        }
+
+    @classmethod
+    def from_tables(
+        cls, snapshot: CSRSnapshot, state: Dict[str, object]
+    ) -> "LandmarkLowerBounds":
+        """Restore a provider from :meth:`export_tables` output.
+
+        The caller guarantees that ``snapshot`` carries the same vertex
+        ordering and weights the tables were built from; the restored
+        provider adopts the snapshot's current weights epoch, so a later
+        weight change still triggers the normal lazy rebuild.
+        """
+
+        def _table(values):
+            if _np is not None:
+                return _np.asarray(values, dtype=_np.float64)
+            return [float(x) for x in values]
+
+        provider = cls.__new__(cls)
+        provider._snapshot = snapshot
+        provider._num_landmarks = int(state["num_landmarks"])
+        provider._landmarks = [int(i) for i in state["landmarks"]]
+        provider._forward = [_table(table) for table in state["forward"]]
+        provider._reverse = [_table(table) for table in state["reverse"]]
+        provider._bounds_cache = {}
+        provider._built_epoch = snapshot.weights_epoch
+        return provider
+
     @staticmethod
     def _argmax_distance(
         tables: Sequence[Sequence[float]], n: int, exclude

@@ -108,6 +108,50 @@ class TestPartitionInvariants:
         assert [s.vertices for s in first] == [s.vertices for s in second]
 
 
+class TestDeterminismContract:
+    """Partition identity is a function of the graph, nothing else.
+
+    The partition store fingerprints a graph and trusts that re-partitioning
+    it reproduces the exact same subgraphs; these tests pin the sorted-
+    iteration contract documented in the module docstring.
+    """
+
+    def test_insertion_order_independent(self):
+        import random
+
+        base = road_network(6, 6, seed=4)
+        edges = [(u, v, w) for u, v, w in base.edges()]
+        reference = partition_graph(base, 10)
+        for seed in range(3):
+            shuffled = list(edges)
+            random.Random(seed).shuffle(shuffled)
+            graph = DynamicGraph()
+            for u, v, w in shuffled:
+                graph.add_edge(u, v, w)
+            partition = partition_graph(graph, 10)
+            assert [s.vertices for s in partition] == [
+                s.vertices for s in reference
+            ]
+            assert [s.edge_set for s in partition] == [
+                s.edge_set for s in reference
+            ]
+
+    def test_pinned_reference_partition(self):
+        # Regression pin: this exact partition must survive refactors and
+        # arbitrary PYTHONHASHSEED values, or every stored fingerprint and
+        # cross-process identity guarantee silently breaks.
+        graph = road_network(4, 4, seed=5)
+        partition = partition_graph(graph, 6)
+        assert [sorted(s.vertices) for s in partition.subgraphs] == [
+            [0, 1, 2, 4, 5, 6, 8, 9],
+            [5, 6, 8, 9, 10, 11, 13, 14],
+            [2, 3, 7, 11],
+            [8, 12, 13],
+            [11, 14, 15],
+        ]
+        assert sorted(partition.boundary_vertices) == [2, 5, 6, 8, 9, 11, 13, 14]
+
+
 class TestPartitionQueries:
     def test_subgraphs_containing_pair(self):
         graph = road_network(8, 8, seed=2)

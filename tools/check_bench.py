@@ -11,7 +11,10 @@ every push:
   compare several configurations of one workload, e.g. the kernel file's
   snapshot-vs-fast rows);
 * required keys are present on every row (``bench``, ``config``,
-  ``baseline_ms``, ``new_ms``, ``speedup``, ``qps``);
+  ``baseline_ms``, ``new_ms``, ``speedup``, ``qps``) — except rows marked
+  ``"kind": "counts"`` (e.g. the partition benchmark's boundary-vertex
+  comparison), which instead require a non-empty ``counts`` mapping of
+  non-negative integers and are exempt from every latency/speedup rule;
 * types are right (``bench`` a string, ``config`` a mapping whose values
   are JSON scalars — extra per-bench keys such as ``kernel_tier`` or
   ``batch_size`` are fine — the rest numbers; ``qps`` may be ``null`` for
@@ -36,6 +39,10 @@ from typing import List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 REQUIRED_KEYS = ("bench", "config", "baseline_ms", "new_ms", "speedup", "qps")
+
+#: Required keys of a ``kind: "counts"`` row — integer facts (e.g. boundary
+#: vertex counts) with no latency/speedup fields to cross-check.
+COUNTS_REQUIRED_KEYS = ("bench", "config", "counts")
 
 #: Relative tolerance for ``speedup == baseline_ms / new_ms``.  The files
 #: round all three fields to 3 decimals independently, so the recomputed
@@ -76,8 +83,52 @@ def check_file(path: Path) -> List[str]:
     ]
 
 
+def _check_config(name: str, payload: dict, problems: List[str]) -> None:
+    config = payload["config"]
+    if not isinstance(config, dict):
+        problems.append(f"{name}: 'config' must be an object")
+        return
+    # Arbitrary per-bench keys are allowed (kernel_tier, batch_size,
+    # ...), but values must stay scalar so the rows remain greppable
+    # one-line facts rather than nested reports.
+    for key, value in config.items():
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            problems.append(
+                f"{name}: config[{key!r}] must be a JSON scalar, got {value!r}"
+            )
+
+
+def check_counts_row(name: str, payload: dict) -> List[str]:
+    """Validate one ``kind: "counts"`` row (integer facts, no latencies)."""
+    problems: List[str] = []
+    for key in COUNTS_REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{name}: missing required key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        problems.append(f"{name}: 'bench' must be a non-empty string")
+    _check_config(name, payload, problems)
+    counts = payload["counts"]
+    if not isinstance(counts, dict) or not counts:
+        problems.append(f"{name}: 'counts' must be a non-empty object")
+        return problems
+    for key, value in counts.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            problems.append(
+                f"{name}: counts[{key!r}] must be an integer, got {value!r}"
+            )
+        elif value < 0:
+            problems.append(
+                f"{name}: counts[{key!r}] must be non-negative, got {value!r}"
+            )
+    return problems
+
+
 def check_row(name: str, payload: dict) -> List[str]:
     """Validate one benchmark row; returns a list of problem strings."""
+    if payload.get("kind") == "counts":
+        return check_counts_row(name, payload)
     problems: List[str] = []
     for key in REQUIRED_KEYS:
         if key not in payload:
@@ -87,18 +138,7 @@ def check_row(name: str, payload: dict) -> List[str]:
 
     if not isinstance(payload["bench"], str) or not payload["bench"]:
         problems.append(f"{name}: 'bench' must be a non-empty string")
-    config = payload["config"]
-    if not isinstance(config, dict):
-        problems.append(f"{name}: 'config' must be an object")
-    else:
-        # Arbitrary per-bench keys are allowed (kernel_tier, batch_size,
-        # ...), but values must stay scalar so the rows remain greppable
-        # one-line facts rather than nested reports.
-        for key, value in config.items():
-            if value is not None and not isinstance(value, (str, int, float, bool)):
-                problems.append(
-                    f"{name}: config[{key!r}] must be a JSON scalar, got {value!r}"
-                )
+    _check_config(name, payload, problems)
 
     for key in ("baseline_ms", "new_ms", "speedup"):
         value = payload[key]
