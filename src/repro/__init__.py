@@ -30,6 +30,11 @@ queries over dynamic road networks:
   micro-batching and load shedding, a maintenance loop interleaving traffic
   snapshots with query batches, latency/hit-rate telemetry, and a trace
   replay driver (``repro replay`` / ``repro serve``).
+* :mod:`repro.chaos` — the deterministic fault-injection harness: seeded
+  :class:`~repro.chaos.plan.FaultPlan` schedules (kill / join / stall /
+  slow pinned to batch indices) replayed against a live topology, with
+  every run compared bit-for-bit to a fault-free oracle and recovery SLOs
+  (time-to-recover, qps dip) scored per fault (``repro chaos``).
 * :mod:`repro.bench` — the experiment harness used by ``benchmarks/``.
 
 Quickstart
@@ -60,6 +65,13 @@ from .algorithms import (
     shortest_distance,
     shortest_path,
     yen_k_shortest_paths,
+)
+from .chaos import (
+    ChaosHarness,
+    ChaosReport,
+    FaultEvent,
+    FaultPlan,
+    generate_chaos_workload,
 )
 from .core import (
     DTLP,
@@ -191,4 +203,10 @@ __all__ = [
     "ReplayResult",
     "generate_trace",
     "replay",
+    # chaos
+    "ChaosHarness",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultPlan",
+    "generate_chaos_workload",
 ]

@@ -34,6 +34,24 @@ benchmark's boundary-vertex comparison) carry ``"kind": "counts"`` and a
 ``counts`` key; the checker validates the integers and skips the
 latency/speedup consistency rules for them.
 
+Rows that report a *recovery SLO* (the chaos benchmark's per-fault
+time-to-recover and throughput dip) carry ``"kind": "recovery"``, a
+``fault`` name and the qps triple instead of the timing keys::
+
+    {
+      "bench": "chaos",
+      "kind": "recovery",
+      "config": {...},
+      "fault": "kill",
+      "recovery_ms": 41.2,      # wall clock below the recovery threshold
+      "qps_baseline": 180.0,    # median pre-fault throughput
+      "qps_dip": 64.0,          # worst post-fault batch
+      "qps_recovered": 171.0    # first batch back above the threshold
+    }
+
+``write_bench_rows`` emits a recovery row for any input row holding a
+``fault`` key.
+
 Files land next to ``bench_report.txt`` (the directory of
 ``$REPRO_BENCH_REPORT``, which the benchmark conftest points at the
 repository root by default), so a plain ``pytest benchmarks/`` leaves
@@ -95,6 +113,27 @@ def _counts_row(
     }
 
 
+def _recovery_row(
+    bench: str,
+    config: Dict[str, Union[Number, str]],
+    fault: str,
+    recovery_ms: float,
+    qps_baseline: float,
+    qps_dip: float,
+    qps_recovered: float,
+) -> Dict[str, object]:
+    return {
+        "bench": bench,
+        "kind": "recovery",
+        "config": config,
+        "fault": str(fault),
+        "recovery_ms": round(float(recovery_ms), 3),
+        "qps_baseline": round(float(qps_baseline), 1),
+        "qps_dip": round(float(qps_dip), 1),
+        "qps_recovered": round(float(qps_recovered), 1),
+    }
+
+
 def _write_payload(bench: str, payload: object) -> str:
     path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
     with open(path, "wt", encoding="utf-8") as handle:
@@ -125,11 +164,22 @@ def write_bench_rows(
     one file comparing several configurations of the same workload against
     one shared baseline, e.g. snapshot-vs-fast kernel tiers.  A row holding
     a ``counts`` mapping is written as a ``kind: "counts"`` row (integer
-    facts, no latency keys) instead.
+    facts, no latency keys); a row holding a ``fault`` key is written as a
+    ``kind: "recovery"`` row (per-fault recovery SLO) instead.
     """
     payload = [
         _counts_row(bench, row["config"], row["counts"])
         if "counts" in row
+        else _recovery_row(
+            bench,
+            row["config"],
+            row["fault"],
+            row["recovery_ms"],
+            row["qps_baseline"],
+            row["qps_dip"],
+            row["qps_recovered"],
+        )
+        if "fault" in row
         else _bench_row(
             bench,
             row["config"],

@@ -1,0 +1,37 @@
+"""Chaos-grade elasticity testing: seeded fault plans + a deterministic
+injection harness with recovery SLO scoring.
+
+Faults are pinned to query micro-batch indices (never wall clock), so a
+``(workload, FaultPlan)`` pair replays identically on every execution
+backend — the harness asserts zero wrong answers against a fault-free
+oracle run and byte-identical event logs across repeats.
+"""
+
+from .harness import (
+    AnswerSignature,
+    BatchSample,
+    ChaosEvent,
+    ChaosHarness,
+    ChaosReport,
+    ChaosRunResult,
+    ChaosWorkload,
+    RecoverySample,
+    generate_chaos_workload,
+)
+from .plan import FAULT_KINDS, ChaosError, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "AnswerSignature",
+    "BatchSample",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosRunResult",
+    "ChaosWorkload",
+    "FaultEvent",
+    "FaultPlan",
+    "RecoverySample",
+    "generate_chaos_workload",
+]

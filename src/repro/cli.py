@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rounds", type=int, default=None,
                        help="split the query batch into this many rounds "
                             "(default: 4 when --rebalance is active, else 1)")
+    bench.add_argument("--autoscale", metavar="HIGH[:LOW]", default=None,
+                       help="enable saturation-driven worker elasticity: add a "
+                            "worker when the rolling per-worker load exceeds "
+                            "HIGH (tasks per batch), retire the coldest one "
+                            "below LOW (default HIGH/4); implies rounds so the "
+                            "trigger can fire mid-run")
     bench.add_argument("--kernel", choices=["snapshot", "fast", "dict"],
                        default="snapshot",
                        help="compute kernel: array-backed snapshots (default, "
@@ -268,6 +274,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_service_arguments(serve)
     serve.add_argument("--epochs", type=int, default=10)
     serve.add_argument("--queries-per-epoch", type=int, default=40)
+
+    chaos_cmd = subparsers.add_parser(
+        "chaos",
+        help="replay traffic under a seeded fault plan (kill/join/stall/slow) "
+             "and score answers against a fault-free oracle")
+    add_graph_arguments(chaos_cmd)
+    add_store_arguments(chaos_cmd)
+    chaos_cmd.add_argument("--z", type=int, default=48)
+    chaos_cmd.add_argument("--xi", type=int, default=3)
+    chaos_cmd.add_argument("--k", type=int, default=2)
+    chaos_cmd.add_argument("--batches", type=int, default=8,
+                           help="query micro-batches to replay (default 8)")
+    chaos_cmd.add_argument("--batch-size", type=int, default=8,
+                           help="queries per micro-batch (default 8)")
+    chaos_cmd.add_argument("--update-every", type=int, default=2,
+                           help="apply one traffic round before every Nth batch "
+                                "(0 disables updates; default 2)")
+    chaos_cmd.add_argument("--workers", type=int, default=4)
+    chaos_cmd.add_argument("--executor", choices=list(EXECUTORS), default=None,
+                           help="execution backend under test; defaults to "
+                                "$REPRO_EXECUTOR or serial")
+    chaos_cmd.add_argument("--kernel", choices=["snapshot", "fast", "dict"],
+                           default="snapshot")
+    chaos_cmd.add_argument("--heuristic", choices=["none", "landmark", "dtlp"],
+                           default="none")
+    chaos_cmd.add_argument("--fault-rate", type=float, default=0.3,
+                           help="probability a batch suffers one fault "
+                                "(default 0.3)")
+    chaos_cmd.add_argument("--fault-seed", type=int, default=11,
+                           help="seed of the generated fault plan (default 11)")
+    chaos_cmd.add_argument("--kinds", default="kill,join,stall",
+                           help="comma-separated fault kinds to draw from "
+                                "(kill, join, stall, slow)")
+    chaos_cmd.add_argument("--autoscale", metavar="HIGH[:LOW]", default=None,
+                           help="additionally enable saturation-driven worker "
+                                "elasticity during the chaos run")
+    chaos_cmd.add_argument("--alpha", type=float, default=0.25,
+                           help="fraction of edges changed per traffic round")
+    chaos_cmd.add_argument("--tau", type=float, default=0.3)
+    chaos_cmd.add_argument("--require-join", action="store_true",
+                           help="exit non-zero unless the run performed at "
+                                "least one successful worker join that "
+                                "migrated state")
+    chaos_cmd.add_argument("--json", metavar="FILE", default=None,
+                           help="additionally write the scored chaos report "
+                                "as JSON to FILE")
 
     trace_cmd = subparsers.add_parser(
         "trace", help="render a recorded Chrome trace-event JSON as a span tree")
@@ -415,7 +467,8 @@ def _command_bench(args: argparse.Namespace) -> int:
     rebalance = _rebalance_spec(args)
     with StormTopology(
         dtlp, num_workers=args.workers, executor=args.executor, rebalance=rebalance,
-        kernel=args.kernel, heuristic=args.heuristic, store_path=args.store,
+        autoscale=args.autoscale, kernel=args.kernel, heuristic=args.heuristic,
+        store_path=args.store,
     ) as topology:
         executor_name = topology.executor.name
         queries = QueryGenerator(graph, seed=args.seed, min_hops=3).generate(
@@ -426,10 +479,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         # rounds serve on the corrected placement.
         if args.rounds is not None and args.rounds < 1:
             raise SystemExit("--rounds must be at least 1")
+        adaptive = topology.rebalancer is not None or topology.autoscaler is not None
         num_rounds = (
-            args.rounds
-            if args.rounds is not None
-            else (4 if topology.rebalancer is not None else 1)
+            args.rounds if args.rounds is not None else (4 if adaptive else 1)
         )
         num_rounds = max(1, min(num_rounds, len(queries) or 1))
         chunk = max(1, -(-len(queries) // num_rounds))
@@ -457,6 +509,8 @@ def _command_bench(args: argparse.Namespace) -> int:
             if results else 0.0
         )
         rebalancer = topology.rebalancer
+        autoscaler = topology.autoscaler
+        elasticity = topology.elasticity
     rows = [
         ["queries", len(queries)],
         ["workers", args.workers],
@@ -479,6 +533,15 @@ def _command_bench(args: argparse.Namespace) -> int:
             ["migration transfer (vertex units)", rebalancer.transfer_units],
             ["load imbalance (max/mean)",
              round(rebalancer.load_report(topology.placement).imbalance(), 4)],
+        ]
+    if autoscaler is not None:
+        rows += [
+            ["scale-ups / scale-downs",
+             f"{autoscaler.scale_ups} / {autoscaler.scale_downs}"],
+            ["workers joined", elasticity.workers_joined],
+            ["workers retired", elasticity.workers_retired],
+            ["join transfer (vertex units)", elasticity.join_transfer_units],
+            ["recovery time (s)", round(elasticity.recovery_seconds, 4)],
         ]
     print(format_table(["metric", "value"], rows))
     if profiler is not None:
@@ -617,6 +680,98 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    from .chaos import ChaosHarness, FaultPlan, generate_chaos_workload
+
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
+
+    # Fresh graph + index per run: the harness replays the same workload
+    # twice (fault-free oracle, then chaos) from identical pristine
+    # snapshots, so the builder must re-create everything from seeds.
+    def builder() -> DTLP:
+        return _build_dtlp(args, _load_graph(args))
+
+    graph = _load_graph(args)
+    workload = generate_chaos_workload(
+        graph,
+        num_batches=args.batches,
+        batch_size=args.batch_size,
+        k=args.k,
+        seed=args.seed,
+        update_every=args.update_every,
+        alpha=args.alpha,
+        tau=args.tau,
+    )
+    plan = FaultPlan.generate(
+        args.fault_seed,
+        num_batches=args.batches,
+        kinds=kinds,
+        rate=args.fault_rate,
+        batch_size=args.batch_size,
+    )
+    harness = ChaosHarness(
+        builder,
+        num_workers=args.workers,
+        executor=args.executor,
+        kernel=args.kernel,
+        heuristic=args.heuristic,
+        autoscale=args.autoscale,
+        store_path=args.store,
+    )
+    report = harness.execute(workload, plan)
+    rows = [
+        ["batches x batch size", f"{args.batches} x {args.batch_size}"],
+        ["planned faults", len(plan.events)],
+        ["total queries", report.total_queries],
+        ["wrong answers (vs oracle)", report.wrong_answers],
+        ["dropped queries", report.dropped_queries],
+        ["retried queries", report.retried_queries],
+        ["workers lost", report.workers_lost],
+        ["workers joined", report.workers_joined],
+        ["workers retired", report.workers_retired],
+        ["subgraphs recovered", report.subgraphs_recovered],
+        ["join transfer (vertex units)", report.join_transfer_units],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if report.recoveries:
+        print()
+        recovery_rows = [
+            [
+                sample.kind,
+                sample.batch_index,
+                sample.worker_id,
+                "yes" if sample.recovered else "NO",
+                sample.recovery_batches,
+                round(sample.recovery_seconds * 1e3, 3),
+                round(sample.qps_dip / sample.qps_baseline, 3)
+                if sample.qps_baseline
+                else 0.0,
+            ]
+            for sample in report.recoveries
+        ]
+        print(format_table(
+            ["fault", "batch", "worker", "recovered", "batches to recover",
+             "recovery (ms)", "qps dip (x baseline)"],
+            recovery_rows,
+        ))
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote chaos report to {args.json}")
+    joined_with_migration = any(
+        event.kind == "join" and event.applied and event.subgraphs_moved > 0
+        for event in report.events
+    )
+    if not report.ok:
+        print("FAIL: chaos run diverged from the fault-free oracle")
+        return 1
+    if args.require_join and not joined_with_migration:
+        print("FAIL: --require-join set but no join migrated state")
+        return 2
+    print("OK: zero wrong answers, zero dropped queries")
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="ascii") as handle:
         payload = json.load(handle)
@@ -651,6 +806,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "replay": _command_replay,
     "serve": _command_serve,
+    "chaos": _command_chaos,
     "trace": _command_trace,
 }
 

@@ -10,16 +10,21 @@ a configurable skew threshold is crossed (``ARCHITECTURE.md``, "Load
 telemetry & rebalancing").
 """
 
+from .autoscale import AutoscaleConfig, Autoscaler, resolve_autoscale
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster, SimulatedWorker, WorkerStats
 from .engine import DistributedBuildReport, KSPDGEngine, distributed_build_report
 from .placement import Placement, greedy_balance
 from .rebalance import (
+    ElasticityStats,
     LoadReport,
     MigrationPlan,
     RebalanceConfig,
     Rebalancer,
+    apply_join,
+    apply_moves,
     default_rebalance_spec,
+    plan_join,
     plan_rebalance,
     resolve_rebalance,
 )
@@ -33,9 +38,17 @@ from .messages import (
     ReferencePathMessage,
     WeightUpdateMessage,
 )
-from .topology import StormTopology, TopologyReport
+from .topology import JoinReport, StormTopology, TopologyReport
 
 __all__ = [
+    "AutoscaleConfig",
+    "Autoscaler",
+    "ElasticityStats",
+    "JoinReport",
+    "apply_join",
+    "apply_moves",
+    "plan_join",
+    "resolve_autoscale",
     "EntranceSpout",
     "QueryBolt",
     "QueryBoltResult",

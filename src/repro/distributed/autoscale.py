@@ -1,0 +1,219 @@
+"""Hysteresis-driven worker autoscaling on top of the load telemetry.
+
+The load-adaptive placement layer (:mod:`repro.distributed.rebalance`)
+reacts to *skew* — it moves subgraphs between a fixed pool of workers.
+This module reacts to *saturation*: when every worker is hot, no migration
+helps, the pool itself must grow; when the pool idles, workers should be
+drained and returned.  :class:`Autoscaler` watches the same per-batch
+telemetry the rebalancer consumes and answers one question after each
+batch: scale up, scale down, or hold.
+
+The decision rule is deliberately simple and — under the default
+``"tasks"`` metric — deterministic, so an autoscaling topology keeps the
+repo's cross-backend bit-identity contract exactly like a rebalancing one:
+
+* maintain a decayed average of the per-worker load per batch (the
+  *saturation*), mirroring :class:`~repro.distributed.rebalance.Rebalancer`'s
+  rolling loads;
+* above ``high``, add a worker (the topology then runs the join surgery,
+  :meth:`~repro.distributed.topology.StormTopology.add_worker`);
+* below ``low``, retire the coldest worker
+  (:meth:`~repro.distributed.topology.StormTopology.retire_worker`);
+* hysteresis (``low < high``), a warm-up (``min_batches``) and a
+  ``cooldown`` between scale events prevent thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graph.errors import ClusterError
+from .rebalance import LOAD_METRICS
+
+__all__ = ["AutoscaleConfig", "Autoscaler", "resolve_autoscale"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tuning knobs of the autoscaling loop.
+
+    Attributes
+    ----------
+    high:
+        Saturation threshold (rolling per-worker load per batch, in the
+        configured metric's unit) above which a worker is added.
+    low:
+        Threshold below which a worker is retired.  Defaults to
+        ``high / 4`` — a wide hysteresis band, so a freshly grown pool
+        (whose per-worker load drops by ``1/n``) does not immediately
+        re-shrink.
+    metric:
+        ``"tasks"`` (deterministic, default) or ``"seconds"`` — same
+        semantics as :class:`~repro.distributed.rebalance.RebalanceConfig`.
+    min_workers / max_workers:
+        Pool bounds; decisions outside them are suppressed.
+    decay:
+        Rolling-average decay per batch (``1.0`` = plain mean over all
+        batches, smaller forgets old traffic faster).
+    min_batches:
+        Observations required before the first decision.
+    cooldown:
+        Batches to hold after a scale event before deciding again, so the
+        rolling average reflects the new pool size first.
+    """
+
+    high: float
+    low: Optional[float] = None
+    metric: str = "tasks"
+    min_workers: int = 1
+    max_workers: int = 32
+    decay: float = 1.0
+    min_batches: int = 2
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.high <= 0.0:
+            raise ClusterError(f"autoscale high watermark must be > 0, got {self.high}")
+        if self.low is None:
+            object.__setattr__(self, "low", self.high / 4.0)
+        if not 0.0 <= self.low < self.high:
+            raise ClusterError(
+                f"autoscale low watermark must be in [0, high), got {self.low}"
+            )
+        if self.metric not in LOAD_METRICS:
+            raise ClusterError(
+                f"unknown load metric {self.metric!r}; expected one of {LOAD_METRICS}"
+            )
+        if self.min_workers < 1:
+            raise ClusterError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ClusterError("max_workers must be >= min_workers")
+        if not 0.0 < self.decay <= 1.0:
+            raise ClusterError(f"decay must be in (0, 1], got {self.decay}")
+        if self.min_batches < 1:
+            raise ClusterError("min_batches must be >= 1")
+        if self.cooldown < 0:
+            raise ClusterError("cooldown must be >= 0")
+
+
+def resolve_autoscale(
+    spec: Union[None, bool, int, float, str, AutoscaleConfig],
+) -> Optional[AutoscaleConfig]:
+    """Normalise a user-facing autoscale spec into a config (or ``None``).
+
+    ``None``/``False``/``0``/``"off"`` disable; a number (or numeric
+    string) becomes the ``high`` watermark with the derived default
+    ``low``; ``"HIGH:LOW"`` sets both; an :class:`AutoscaleConfig` passes
+    through.  There is no bare ``"on"`` — the saturation watermark is
+    workload-dependent, so enabling without one would be a silent guess.
+    """
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        raise ClusterError(
+            "autoscale needs a saturation watermark (tasks per worker per "
+            "batch); pass a number or 'HIGH:LOW'"
+        )
+    if isinstance(spec, AutoscaleConfig):
+        return spec
+    if isinstance(spec, str):
+        lowered = spec.strip().lower()
+        if lowered in ("", "off", "false", "no", "0"):
+            return None
+        parts = lowered.split(":")
+        try:
+            if len(parts) == 1:
+                return AutoscaleConfig(high=float(parts[0]))
+            if len(parts) == 2:
+                return AutoscaleConfig(high=float(parts[0]), low=float(parts[1]))
+        except ValueError:
+            pass
+        raise ClusterError(
+            f"cannot parse autoscale spec {spec!r}; expected HIGH or HIGH:LOW"
+        )
+    if isinstance(spec, (int, float)):
+        if spec == 0:
+            return None
+        return AutoscaleConfig(high=float(spec))
+    raise ClusterError(f"cannot resolve autoscale spec from {spec!r}")
+
+
+class Autoscaler:
+    """Rolling saturation tracking plus the scale-up/-down trigger.
+
+    Owned by a topology, which calls :meth:`observe` once per completed
+    metric-reset batch with the batch's total subgraph load and the alive
+    worker count, and acts on the returned decision.
+    """
+
+    def __init__(self, config: AutoscaleConfig) -> None:
+        self.config = config
+        self._load_sum = 0.0
+        self._norm = 0.0
+        self._batches = 0
+        self._cooldown = 0
+        #: Executed scale events (bumped by the owning topology).
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    @property
+    def batches_observed(self) -> int:
+        """Batches folded into the rolling saturation so far."""
+        return self._batches
+
+    @property
+    def saturation(self) -> float:
+        """Decayed average per-worker load per batch."""
+        if self._norm <= 0.0:
+            return 0.0
+        return self._load_sum / self._norm
+
+    def observe(self, total_load: float, num_workers: int) -> Optional[str]:
+        """Fold one batch in and decide: ``"up"``, ``"down"`` or ``None``.
+
+        A decision does not itself change any state beyond starting the
+        cooldown — the owning topology performs the join/retire surgery
+        and records it via :meth:`record_scaled`.
+        """
+        if num_workers < 1:
+            raise ClusterError("autoscaler needs at least one alive worker")
+        decay = self.config.decay
+        self._load_sum = self._load_sum * decay + total_load / num_workers
+        self._norm = self._norm * decay + 1.0
+        self._batches += 1
+        if self._batches < self.config.min_batches:
+            return None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        saturation = self.saturation
+        if saturation > self.config.high and num_workers < self.config.max_workers:
+            self._cooldown = self.config.cooldown
+            return "up"
+        if saturation < self.config.low and num_workers > self.config.min_workers:
+            self._cooldown = self.config.cooldown
+            return "down"
+        return None
+
+    def record_scaled(self, direction: str) -> None:
+        """Record an executed scale event and reset the rolling average.
+
+        The pool size changed, so per-worker samples from the old shape
+        would bias the next decision; starting fresh (plus the cooldown)
+        is what makes the hysteresis effective.
+        """
+        if direction == "up":
+            self.scale_ups += 1
+        elif direction == "down":
+            self.scale_downs += 1
+        else:
+            raise ClusterError(f"unknown scale direction {direction!r}")
+        self._load_sum = 0.0
+        self._norm = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Autoscaler high={self.config.high} low={self.config.low} "
+            f"ups={self.scale_ups} downs={self.scale_downs}>"
+        )

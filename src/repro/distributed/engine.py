@@ -53,6 +53,7 @@ class KSPDGEngine:
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
         rebalance: Union[None, bool, float, str] = None,
+        autoscale: Union[None, bool, int, float, str] = None,
         heuristic: str = "none",
         pruning: bool = True,
         store_path: Optional[str] = None,
@@ -66,7 +67,9 @@ class KSPDGEngine:
         compute path of the bolts (array snapshots by default),
         ``executor`` the physical backend running query batches,
         ``rebalance`` enables load-adaptive placement with live subgraph
-        migration, ``heuristic``/``pruning`` configure the goal-directed
+        migration, ``autoscale`` enables saturation-driven worker
+        join/retirement (see :mod:`repro.distributed.autoscale`),
+        ``heuristic``/``pruning`` configure the goal-directed
         pruned query kernel (see ``ARCHITECTURE.md``), and ``store_path``
         lets process replicas cold-start from a partition store instead of
         a pickled bundle (see :mod:`repro.store`).
@@ -79,6 +82,7 @@ class KSPDGEngine:
                 executor=executor,
                 executor_workers=executor_workers,
                 rebalance=rebalance,
+                autoscale=autoscale,
                 heuristic=heuristic,
                 pruning=pruning,
                 store_path=store_path,

@@ -51,9 +51,12 @@ __all__ = [
     "default_rebalance_spec",
     "LoadReport",
     "MigrationPlan",
+    "ElasticityStats",
     "collect_subgraph_loads",
     "plan_rebalance",
+    "plan_join",
     "apply_moves",
+    "apply_join",
     "Rebalancer",
 ]
 
@@ -218,6 +221,11 @@ class LoadReport:
     metric: str
     subgraph_load: Dict[int, float] = field(default_factory=dict)
     worker_load: Dict[int, float] = field(default_factory=dict)
+    #: Elasticity context of the topology the report was taken from:
+    #: workers that joined (scale-up) and were lost (failures) since
+    #: deployment.  Zero for reports built outside a topology.
+    workers_joined: int = 0
+    workers_lost: int = 0
 
     @classmethod
     def collect(
@@ -389,6 +397,75 @@ def plan_rebalance(
     )
 
 
+def plan_join(
+    load: LoadReport,
+    placement: Placement,
+    joiner: int,
+) -> Optional[MigrationPlan]:
+    """Plan the migration onto a freshly joined (empty) worker.
+
+    The inverse of the failover plan: instead of spreading a dead worker's
+    subgraphs over the survivors, subgraphs are *stolen* from the loaded
+    workers onto the joiner.  Each step takes the currently hottest donor
+    (lowest id on ties) and moves its heaviest subgraph (lowest id on
+    ties) whose transfer keeps the joiner strictly below the donor's
+    pre-move load — the classic work-stealing condition, which terminates
+    (every subgraph moves at most once) and never turns the joiner into
+    the new hotspot.  Iteration order is fixed by worker/subgraph id, so
+    the plan is deterministic and identical on every execution backend
+    given the deterministic ``"tasks"`` metric.
+
+    ``load`` must include the joiner in its worker pool (with zero load).
+    Returns ``None`` when nothing can usefully move (e.g. a single
+    subgraph, or no observed/baseline load at all).
+    """
+    if joiner not in load.workers:
+        raise ClusterError(f"joiner {joiner} missing from the load report pool")
+    loads = {worker_id: load.worker_load.get(worker_id, 0.0) for worker_id in load.workers}
+    assignment = dict(placement.assignment)
+    sub_load = load.subgraph_load
+    donors = sorted(worker_id for worker_id in load.workers if worker_id != joiner)
+    if not donors:
+        return None
+    moves = []
+    while True:
+        # Hottest donor first, but fall through to cooler donors when the
+        # hottest one cannot donate (e.g. it owns a single huge subgraph
+        # the stealing condition refuses to move wholesale).
+        stolen = False
+        for donor in sorted(donors, key=lambda worker_id: (-loads[worker_id], worker_id)):
+            best_sid: Optional[int] = None
+            best_load = -1.0
+            for sid in sorted(s for s, w in assignment.items() if w == donor):
+                amount = float(sub_load.get(sid, 0.0))
+                if loads[joiner] + amount < loads[donor] and amount > best_load:
+                    best_sid, best_load = sid, amount
+            if best_sid is None:
+                continue
+            assignment[best_sid] = joiner
+            loads[donor] -= best_load
+            loads[joiner] += best_load
+            moves.append((best_sid, donor, joiner))
+            stolen = True
+            break
+        if not stolen:
+            break
+    if not moves:
+        return None
+    num_workers = max(placement.num_workers, joiner + 1)
+    new_placement = Placement(num_workers, assignment)
+    after = LoadReport.from_loads(
+        sub_load, new_placement, load.metric, workers=load.workers
+    )
+    return MigrationPlan(
+        placement=new_placement,
+        moves=tuple(sorted(moves)),
+        imbalance_before=load.imbalance(),
+        imbalance_after=after.imbalance(),
+        metric=load.metric,
+    )
+
+
 def apply_moves(
     moves: Sequence[Move],
     subgraph_bolts,
@@ -453,6 +530,104 @@ def apply_moves(
             help="Subgraphs moved between workers by live migration",
         ).inc(migrated)
     return migrated
+
+
+def apply_join(
+    moves: Sequence[Move],
+    subgraph_bolts,
+    cluster,
+    dtlp,
+    *,
+    from_store: bool = False,
+    catchup_updates: int = 0,
+) -> int:
+    """Execute a join plan: :func:`apply_moves` with the joiner's cold-start path.
+
+    Without a partition store the joiner receives each migrated subgraph's
+    state from its previous host (``transfer_state=True`` — peer transfer
+    charged in vertex units).  With ``from_store`` the joiner instead loads
+    the partition files from disk, so no peer transfer is charged: sources
+    still release the index memory, and the master ships only the
+    ``catchup_updates``-long weight delta since the store was saved —
+    O(load) cold start instead of O(state).  Shared by the master topology
+    and the process-backend replicas, exactly like :func:`apply_moves`.
+    """
+    if not from_store:
+        return apply_moves(
+            moves, subgraph_bolts, cluster, dtlp, transfer_state=True
+        )
+    migrated = apply_moves(
+        moves, subgraph_bolts, cluster, dtlp, transfer_state=False
+    )
+    joiners = set()
+    for subgraph_id, source, target in moves:
+        # transfer_state=False charges only the gainer's memory (the
+        # failover contract, where the source is gone); on a join the
+        # source is alive and hands its copy off, so release it here.
+        cluster.worker(source).charge_memory(
+            -dtlp.subgraph_index(subgraph_id).memory_estimate_bytes()
+        )
+        joiners.add(target)
+    if catchup_updates > 0:
+        for target in sorted(joiners):
+            cluster.send(-1, target, catchup_updates)  # master -> joiner
+    return migrated
+
+
+@dataclass
+class ElasticityStats:
+    """Recovery/elasticity SLO counters of one topology.
+
+    Everything here is deterministic across execution backends except
+    ``recovery_seconds`` (measured wall clock of the join/fail/retire
+    surgeries — an SLO, not a replayable counter), which is why the
+    deterministic fields also ride the cluster metrics registry while the
+    seconds stay report-only.
+    """
+
+    workers_joined: int = 0
+    workers_lost: int = 0
+    workers_retired: int = 0
+    #: Vertex units shipped to joiners (peer transfer) plus catch-up
+    #: deltas (store-backed joins), cumulative across joins.
+    join_transfer_units: int = 0
+    #: Subgraphs re-hosted by failovers, retirements and joins.
+    subgraphs_recovered: int = 0
+    #: Queries re-routed because their target QueryBolt died before they
+    #: were served (the harness's at-least-once retry path).
+    retried_queries: int = 0
+    #: Queries lost outright; stays zero under the retry policy and is
+    #: reported so that "zero" is an asserted fact rather than an absence.
+    dropped_queries: int = 0
+    #: Wall clock spent inside recovery surgery (join + failover + retire).
+    recovery_seconds: float = 0.0
+
+    def fold_into(self, metrics) -> None:
+        """Charge the deterministic counters into a metrics registry."""
+        metrics.counter(
+            "elasticity_workers_joined_total", help="workers added by scale-up"
+        ).inc(self.workers_joined)
+        metrics.counter(
+            "elasticity_workers_lost_total", help="workers lost to failures"
+        ).inc(self.workers_lost)
+        metrics.counter(
+            "elasticity_workers_retired_total", help="workers drained by scale-down"
+        ).inc(self.workers_retired)
+        metrics.counter(
+            "elasticity_join_transfer_units_total",
+            help="state units shipped to joining workers",
+        ).inc(self.join_transfer_units)
+        metrics.counter(
+            "elasticity_subgraphs_recovered_total",
+            help="subgraphs re-hosted by failover/retire/join surgery",
+        ).inc(self.subgraphs_recovered)
+        metrics.counter(
+            "elasticity_retried_queries_total",
+            help="queries re-routed off dead workers",
+        ).inc(self.retried_queries)
+        metrics.counter(
+            "elasticity_dropped_queries_total", help="queries lost to faults"
+        ).inc(self.dropped_queries)
 
 
 class Rebalancer:

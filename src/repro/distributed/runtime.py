@@ -44,7 +44,7 @@ from ..graph.graph import WeightUpdate
 from ..workloads.queries import KSPQuery
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster
-from .rebalance import Move, apply_moves
+from .rebalance import Move, apply_join, apply_moves
 
 __all__ = [
     "TopologyBundle",
@@ -224,6 +224,81 @@ class TopologyReplica:
                     pruning=self._pruning,
                 )
             ]
+        self._rebuild_spout()
+        return migrated
+
+    def add_worker(
+        self,
+        worker_id: int,
+        moves: Sequence[Move],
+        from_store: bool = False,
+        catchup_updates: int = 0,
+    ) -> int:
+        """Mirror the master's worker-join surgery on this replica.
+
+        Grows the private cost cluster (so later batch ledgers match the
+        master's new shape), appends the joiner's bolts in the master's
+        construction order — SubgraphBolt order determines communication
+        accounting, QueryBolt order determines round-robin routing — and
+        applies the shipped join plan.  The executor's OS-process pool is
+        untouched: logical workers are a placement concept, and one
+        resident replica serves any number of them.
+        """
+        while self._cluster.num_workers <= worker_id:
+            self._cluster.add_worker()
+        self._subgraph_bolts.append(
+            SubgraphBolt(
+                name=f"subgraph-bolt-{worker_id}",
+                worker_id=worker_id,
+                cluster=self._account,
+                dtlp=self._dtlp,
+                subgraph_ids=(),
+                kernel=self._kernel,
+                heuristic=self._heuristic,
+                pruning=self._pruning,
+            )
+        )
+        self._query_bolts.append(
+            QueryBolt(
+                name=f"query-bolt-{worker_id}-0",
+                worker_id=worker_id,
+                cluster=self._account,
+                dtlp=self._dtlp,
+                subgraph_bolts=self._subgraph_bolts,
+                kernel=self._kernel,
+                heuristic=self._heuristic,
+                pruning=self._pruning,
+            )
+        )
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
+        migrated = apply_join(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            from_store=from_store,
+            catchup_updates=catchup_updates,
+        )
+        self._rebuild_spout()
+        return migrated
+
+    def retire_worker(self, worker_id: int, moves: Sequence[Move]) -> int:
+        """Mirror the master's graceful scale-down surgery on this replica.
+
+        Like :meth:`fail_worker` but with live state transfer — the
+        retiree ships its subgraphs to the survivors before its bolts are
+        dropped.
+        """
+        migrated = apply_moves(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=True,
+        )
+        self._subgraph_bolts = [
+            b for b in self._subgraph_bolts if b.worker_id != worker_id
+        ]
+        self._query_bolts = [
+            b for b in self._query_bolts if b.worker_id != worker_id
+        ]
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
         self._rebuild_spout()
         return migrated
 

@@ -25,7 +25,8 @@ Executor"):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.dtlp import DTLP
@@ -35,22 +36,47 @@ from ..graph.errors import ClusterError
 from ..graph.graph import WeightUpdate
 from ..obs.trace import Span, TraceSession
 from ..workloads.queries import KSPQuery
+from .autoscale import AutoscaleConfig, Autoscaler, resolve_autoscale
 from .bolts import EntranceSpout, QueryBolt, QueryBoltResult, SubgraphBolt
 from .cluster import ClusterAccountant, SimulatedCluster
 from .placement import Placement
 from .rebalance import (
+    ElasticityStats,
     LoadReport,
     MigrationPlan,
     Move,
     RebalanceConfig,
     Rebalancer,
+    apply_join,
     apply_moves,
     collect_subgraph_loads,
+    plan_join,
     resolve_rebalance,
 )
 from .runtime import QueryEnvelope, TopologyBundle, build_topology_replica
 
-__all__ = ["TopologyReport", "StormTopology"]
+__all__ = ["TopologyReport", "JoinReport", "StormTopology"]
+
+
+@dataclass(frozen=True)
+class JoinReport:
+    """Outcome of one worker join (:meth:`StormTopology.add_worker`).
+
+    Everything except ``seconds`` (measured surgery wall clock) is
+    deterministic for a given topology history.
+    """
+
+    worker_id: int
+    moves: Tuple[Move, ...]
+    subgraphs_migrated: int
+    #: Vertex units shipped to the joiner: peer state transfer, or the
+    #: catch-up delta length when the join cold-started from the store.
+    transfer_units: int
+    catchup_updates: int
+    from_store: bool
+    imbalance_before: float
+    imbalance_after: float
+    seconds: float
 
 
 @dataclass
@@ -125,6 +151,16 @@ class StormTopology:
         placement-independent, so results stay bit-identical across a
         migration; the deterministic ``"tasks"`` metric keeps the
         migrations themselves identical on every execution backend.
+    autoscale:
+        Saturation-driven pool elasticity (see
+        :mod:`repro.distributed.autoscale`): ``None`` (default) keeps the
+        worker pool fixed; a number sets the high watermark (rolling tasks
+        per worker per batch) above which :meth:`add_worker` runs and
+        below a quarter of which the coldest worker is retired;
+        ``"HIGH:LOW"`` or an
+        :class:`~repro.distributed.autoscale.AutoscaleConfig` set
+        everything.  Deterministic under the default ``"tasks"`` metric,
+        like rebalancing.
     tracer:
         A :class:`~repro.obs.trace.TraceSession` to collect per-query span
         trees into (admission → route → bolt work items → kernel searches),
@@ -161,6 +197,7 @@ class StormTopology:
         executor: Union[str, Executor, None] = None,
         executor_workers: Optional[int] = None,
         rebalance: Union[None, bool, float, str, RebalanceConfig] = None,
+        autoscale: Union[None, bool, int, float, str, AutoscaleConfig] = None,
         heuristic: str = "none",
         pruning: bool = True,
         tracer: Optional[TraceSession] = None,
@@ -213,6 +250,15 @@ class StormTopology:
         self._rebalancer: Optional[Rebalancer] = (
             Rebalancer(config) if config is not None else None
         )
+
+        # Pool elasticity: the saturation-driven scale trigger (None keeps
+        # the pool size fixed) and the recovery SLO counters every join /
+        # failure / retirement folds into.
+        autoscale_config = resolve_autoscale(autoscale)
+        self._autoscaler: Optional[Autoscaler] = (
+            Autoscaler(autoscale_config) if autoscale_config is not None else None
+        )
+        self.elasticity = ElasticityStats()
 
         self._subgraph_bolts: List[SubgraphBolt] = []
         for worker_id in range(num_workers):
@@ -294,6 +340,11 @@ class StormTopology:
         return self._rebalancer
 
     @property
+    def autoscaler(self) -> Optional[Autoscaler]:
+        """The saturation-driven scale loop, or ``None`` (fixed pool)."""
+        return self._autoscaler
+
+    @property
     def tracer(self) -> Optional[TraceSession]:
         """The owned span-trace session, or ``None``."""
         return self._tracer
@@ -372,6 +423,7 @@ class StormTopology:
         :class:`~repro.graph.errors.ClusterError` when the id is unknown or
         when it is the only worker left.
         """
+        started = time.perf_counter()
         alive = [b.worker_id for b in self._subgraph_bolts if b.worker_id != worker_id]
         if worker_id < 0 or worker_id >= self._cluster.num_workers:
             raise ClusterError(f"no worker with id {worker_id}")
@@ -429,7 +481,225 @@ class StormTopology:
             },
         )
         self._replica_set.broadcast("fail_worker", worker_id, moves)
+        self.elasticity.workers_lost += 1
+        self.elasticity.subgraphs_recovered += migrated
+        self.elasticity.recovery_seconds += time.perf_counter() - started
         return migrated
+
+    # ------------------------------------------------------------------
+    # elasticity: scale-up and scale-down
+    # ------------------------------------------------------------------
+    def add_worker(self) -> JoinReport:
+        """Grow the pool by one worker and migrate load onto it, live.
+
+        The inverse of :meth:`fail_worker`: a fresh worker (next dense id)
+        gets an empty SubgraphBolt plus a QueryBolt, and the join planner
+        (:func:`~repro.distributed.rebalance.plan_join`) steals subgraphs
+        from the hottest workers onto it — weighted by the rebalancer's
+        rolling observed loads when available, by vertex counts otherwise,
+        always deterministically.  Without a partition store the stolen
+        subgraphs' state ships from their previous hosts (peer transfer in
+        vertex units); with one (:mod:`repro.store`) the joiner cold-starts
+        from the partition files and only the catch-up weight delta since
+        the store was saved crosses the wire — O(load), the PR-8 path.
+
+        Resident process replicas mirror the identical surgery via one
+        ``add_worker`` broadcast (bolt construction order and the shipped
+        move list match the master's exactly), so routing and the
+        deterministic counters stay bit-identical across the join on every
+        backend.
+        """
+        started = time.perf_counter()
+        worker_id = self._cluster.add_worker()
+        bolt = SubgraphBolt(
+            name=f"subgraph-bolt-{worker_id}",
+            worker_id=worker_id,
+            cluster=self._account,
+            dtlp=self._dtlp,
+            subgraph_ids=(),
+            kernel=self._kernel,
+            heuristic=self._heuristic,
+            pruning=self._pruning,
+        )
+        self._subgraph_bolts.append(bolt)
+        self._query_bolts.append(
+            QueryBolt(
+                name=f"query-bolt-{worker_id}-0",
+                worker_id=worker_id,
+                cluster=self._account,
+                dtlp=self._dtlp,
+                subgraph_bolts=self._subgraph_bolts,
+                kernel=self._kernel,
+                heuristic=self._heuristic,
+                pruning=self._pruning,
+            )
+        )
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
+
+        # Store-backed cold start: the joiner loads partition files from
+        # disk and replays only the weight delta accumulated since the
+        # store was saved.  A store that no longer matches the live graph
+        # falls back to peer state transfer, mirroring _make_bundle.
+        from_store = False
+        catchup_updates = 0
+        if self._store_path is not None:
+            from ..store.partition_store import PartitionStore, StoreError
+
+            try:
+                store = PartitionStore(self._store_path)
+                catchup_updates = len(store.stale_updates(self._dtlp.graph))
+                from_store = True
+            except StoreError:
+                from_store = False
+                catchup_updates = 0
+
+        plan = plan_join(
+            self._join_load_report(), self._grown_placement(), worker_id
+        )
+        moves: Tuple[Move, ...] = plan.moves if plan is not None else ()
+        migrated = apply_join(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            from_store=from_store,
+            catchup_updates=catchup_updates,
+        )
+        transfer_units = (
+            catchup_updates
+            if from_store
+            else sum(
+                self._dtlp.partition.subgraph(subgraph_id).num_vertices
+                for subgraph_id, _, _ in moves
+            )
+        )
+        self._rebuild_spout()
+        self._refresh_placement()
+        self._replica_set.broadcast(
+            "add_worker", worker_id, list(moves), from_store, catchup_updates
+        )
+        seconds = time.perf_counter() - started
+        self.elasticity.workers_joined += 1
+        self.elasticity.subgraphs_recovered += migrated
+        self.elasticity.join_transfer_units += transfer_units
+        self.elasticity.recovery_seconds += seconds
+        return JoinReport(
+            worker_id=worker_id,
+            moves=moves,
+            subgraphs_migrated=migrated,
+            transfer_units=transfer_units,
+            catchup_updates=catchup_updates,
+            from_store=from_store,
+            imbalance_before=plan.imbalance_before if plan is not None else 1.0,
+            imbalance_after=plan.imbalance_after if plan is not None else 1.0,
+            seconds=seconds,
+        )
+
+    def retire_worker(self, worker_id: Optional[int] = None) -> int:
+        """Drain one worker gracefully and shrink the serving pool.
+
+        The scale-down half of elasticity: unlike :meth:`fail_worker` the
+        retiree is alive, so its subgraphs *ship their state* to the
+        survivors (peer transfer, ``transfer_state=True``) instead of
+        being rebuilt.  ``worker_id`` defaults to the coldest alive worker
+        under the rolling observed loads (highest id on ties, so recent
+        joiners retire first).  Returns the number of subgraphs migrated
+        off the retiree.
+        """
+        started = time.perf_counter()
+        alive = self._alive_workers()
+        if len(alive) <= 1:
+            raise ClusterError("cannot retire the only remaining worker")
+        weights = self._join_weights()
+        load = LoadReport.from_loads(
+            weights, self._grown_placement(), self._load_metric(), workers=alive
+        )
+        if worker_id is None:
+            worker_id = min(
+                alive, key=lambda w: (load.worker_load.get(w, 0.0), -w)
+            )
+        elif worker_id not in alive:
+            raise ClusterError(f"no alive worker with id {worker_id}")
+
+        retiring = [b for b in self._subgraph_bolts if b.worker_id == worker_id]
+        survivors = [b for b in self._subgraph_bolts if b.worker_id != worker_id]
+        sizes = {
+            bolt.worker_id: load.worker_load.get(bolt.worker_id, 0.0)
+            for bolt in survivors
+        }
+        moves: List[Move] = []
+        for bolt in retiring:
+            for subgraph_id in sorted(bolt.subgraph_ids):
+                target = min(survivors, key=lambda b: (sizes[b.worker_id], b.worker_id))
+                moves.append((subgraph_id, worker_id, target.worker_id))
+                sizes[target.worker_id] += weights.get(subgraph_id, 0.0)
+        migrated = apply_moves(
+            moves, self._subgraph_bolts, self._account, self._dtlp,
+            transfer_state=True,
+        )
+        self._subgraph_bolts = survivors
+        self._query_bolts = [b for b in self._query_bolts if b.worker_id != worker_id]
+        for query_bolt in self._query_bolts:
+            query_bolt.set_subgraph_bolts(self._subgraph_bolts)
+        self._rebuild_spout()
+        self._refresh_placement()
+        self._replica_set.broadcast("retire_worker", worker_id, moves)
+        self.elasticity.workers_retired += 1
+        self.elasticity.subgraphs_recovered += migrated
+        self.elasticity.recovery_seconds += time.perf_counter() - started
+        return migrated
+
+    def _load_metric(self) -> str:
+        """Load metric steering join/retire plans (rebalancer's, or tasks)."""
+        if self._rebalancer is not None:
+            return self._rebalancer.config.metric
+        if self._autoscaler is not None:
+            return self._autoscaler.config.metric
+        return "tasks"
+
+    def _join_weights(self) -> Dict[int, float]:
+        """Per-subgraph weights for join/retire planning.
+
+        The rebalancer's rolling observed loads with the vertex-count
+        baseline tiebreak when observations exist; plain vertex counts
+        otherwise (cold start — the deployment-time estimate).
+        """
+        baseline = {
+            subgraph.subgraph_id: float(subgraph.num_vertices)
+            for subgraph in self._dtlp.partition.subgraphs
+        }
+        observed = self._rebalancer.loads if self._rebalancer is not None else {}
+        total = sum(observed.values())
+        if total <= 0.0:
+            return baseline
+        baseline_total = sum(baseline.values()) or 1.0
+        tiebreak_scale = total * 1e-3 / baseline_total
+        return {
+            sid: observed.get(sid, 0.0) + size * tiebreak_scale
+            for sid, size in baseline.items()
+        }
+
+    def _grown_placement(self) -> Placement:
+        """The live assignment sized to the (possibly grown) cluster."""
+        return Placement(
+            self._cluster.num_workers,
+            {
+                subgraph_id: bolt.worker_id
+                for bolt in self._subgraph_bolts
+                for subgraph_id in bolt.subgraph_ids
+            },
+        )
+
+    def _join_load_report(self) -> LoadReport:
+        """Load report over the alive pool (joiner included, at zero)."""
+        return LoadReport.from_loads(
+            self._join_weights(),
+            self._grown_placement(),
+            self._load_metric(),
+            workers=self._alive_workers(),
+        )
+
+    def _refresh_placement(self) -> None:
+        """Rebuild the logical placement from the live bolt assignment."""
+        self._placement = self._grown_placement()
 
     # ------------------------------------------------------------------
     # load-adaptive placement
@@ -438,6 +708,16 @@ class StormTopology:
         """Worker ids currently hosting SubgraphBolts (failures excluded)."""
         return sorted({bolt.worker_id for bolt in self._subgraph_bolts})
 
+    def alive_workers(self) -> List[int]:
+        """Worker ids currently hosting SubgraphBolts (failures excluded)."""
+        return self._alive_workers()
+
+    @property
+    def queries_routed(self) -> int:
+        """Total queries submitted so far — the deterministic round-robin
+        routing cursor (identical on every backend and in replicas)."""
+        return self._route_counter
+
     def load_report(self, metric: str = "tasks") -> LoadReport:
         """Per-subgraph/per-worker load observed since the last metric reset.
 
@@ -445,8 +725,13 @@ class StormTopology:
         counters before each batch); the *rolling* profile across batches
         lives on :attr:`rebalancer` when rebalancing is enabled.
         """
-        return LoadReport.collect(
+        report = LoadReport.collect(
             self._cluster, self._placement, metric, workers=self._alive_workers()
+        )
+        return replace(
+            report,
+            workers_joined=self.elasticity.workers_joined,
+            workers_lost=self.elasticity.workers_lost,
         )
 
     def maybe_rebalance(self, force: bool = False) -> Optional[MigrationPlan]:
@@ -585,6 +870,22 @@ class StormTopology:
             self._rebalancer.observe(self._cluster, self._placement)
             if self._rebalancer.check_due():
                 self.maybe_rebalance()
+        # Pool elasticity rides the same batch boundary: fold the batch's
+        # saturation in, and run the join/retire surgery strictly between
+        # batches — deterministic under the "tasks" metric, like the
+        # rebalance trigger above.
+        if self._autoscaler is not None and queries and reset_metrics:
+            loads = collect_subgraph_loads(
+                self._cluster, self._autoscaler.config.metric
+            )
+            alive = self._alive_workers()
+            decision = self._autoscaler.observe(sum(loads.values()), len(alive))
+            if decision == "up":
+                self.add_worker()
+                self._autoscaler.record_scaled("up")
+            elif decision == "down" and len(alive) > 1:
+                self.retire_worker()
+                self._autoscaler.record_scaled("down")
         return report
 
     # ------------------------------------------------------------------

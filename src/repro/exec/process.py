@@ -196,6 +196,44 @@ class ProcessExecutor(Executor):
                 f"{self._processes[worker].exitcode})"
             ) from exc
 
+    def _send_bytes(self, worker: int, data: bytes) -> None:
+        """Ship one encoded message, classifying a dead pipe.
+
+        The send-side twin of :meth:`_recv`: a worker process that died
+        between rounds surfaces as :class:`ExecutorError` (which stateful
+        callers like the ReplicaSet convert into an atomic group discard)
+        instead of a raw ``BrokenPipeError`` escaping mid-protocol.
+        """
+        try:
+            self._pipes[worker].send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise ExecutorError(
+                f"worker process {worker} died (pid "
+                f"{self._processes[worker].pid}, exitcode "
+                f"{self._processes[worker].exitcode})"
+            ) from exc
+
+    def _send_all(self, messages: Sequence[Tuple[int, bytes]]) -> None:
+        """Ship a round of pre-encoded messages, one reply owed per send.
+
+        If a pipe dies partway through, the replies the already-reached
+        workers will produce are drained (best effort) before the error
+        propagates — otherwise those unread replies would desynchronise
+        the request/reply protocol for all later traffic on this executor.
+        """
+        sent: List[int] = []
+        try:
+            for worker, data in messages:
+                self._send_bytes(worker, data)
+                sent.append(worker)
+        except ExecutorError:
+            for worker in sent:
+                try:
+                    self._recv(worker)
+                except ExecutorError:
+                    continue
+            raise
+
     @staticmethod
     def _raise_task_error(info: Tuple[str, str, str]) -> None:
         remote_type, message, remote_traceback = info
@@ -235,8 +273,7 @@ class ProcessExecutor(Executor):
             worker: self._encode(("map", fn, chunk))
             for worker, chunk in chunks.items()
         }
-        for worker, data in encoded.items():
-            self._pipes[worker].send_bytes(data)
+        self._send_all(list(encoded.items()))
         return self._collect(chunks, len(items))
 
     # ------------------------------------------------------------------
@@ -259,8 +296,9 @@ class ProcessExecutor(Executor):
             self._encode(("init", group_id, slot, factory, payload))
             for slot, payload in enumerate(payloads)
         ]
-        for slot, data in enumerate(encoded):
-            self._pipes[self._owner(slot)].send_bytes(data)
+        self._send_all(
+            [(self._owner(slot), data) for slot, data in enumerate(encoded)]
+        )
         failure: Optional[Tuple[int, Tuple[str, str, str]]] = None
         for slot in range(len(payloads)):
             status, value = self._recv(self._owner(slot))
@@ -281,8 +319,7 @@ class ProcessExecutor(Executor):
             worker: self._encode(("calls", group_id, batch))
             for worker, batch in batches.items()
         }
-        for worker, data in encoded.items():
-            self._pipes[worker].send_bytes(data)
+        self._send_all(list(encoded.items()))
         return self._collect(batches, len(calls))
 
     def _collect(self, batches: Dict[int, Sequence[Any]], total: int) -> List[Any]:
@@ -303,12 +340,26 @@ class ProcessExecutor(Executor):
         return results
 
     def _drop_group(self, group_id: int) -> None:
+        # Dropping a group must succeed even when a worker process has
+        # died mid-broadcast (the ReplicaSet discards the whole group on
+        # partial failure): a dead pipe here would otherwise raise and
+        # mask the original error.  Live workers still get the drop (and
+        # their ack is drained, keeping the protocol in sync); dead ones
+        # are skipped.
         if self._closed or not self._processes:
             return
-        for pipe in self._pipes:
-            pipe.send(("drop", group_id))
-        for worker in range(len(self._pipes)):
-            self._recv(worker)
+        dropped = []
+        for worker, pipe in enumerate(self._pipes):
+            try:
+                pipe.send(("drop", group_id))
+                dropped.append(worker)
+            except (BrokenPipeError, OSError):
+                continue
+        for worker in dropped:
+            try:
+                self._recv(worker)
+            except ExecutorError:
+                continue
 
     # ------------------------------------------------------------------
     # shutdown

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from ..graph.errors import ExecutorError
+from ..graph.errors import ExecutorError, ExecutorTaskError
 from ..graph.graph import WeightUpdate
 from .base import Executor, WorkerGroup
 
@@ -93,9 +93,40 @@ class ReplicaSet:
                     self._synced_version
                 )
             ]
-            self._group.broadcast("sync", deltas)
+            self._atomic_broadcast("sync", deltas)
             self._synced_version = current
         return self._group
+
+    def _atomic_broadcast(self, method: str, *args: Any) -> List[Any]:
+        """Broadcast to every replica, discarding the whole group on failure.
+
+        A replica group is only useful while every member holds the same
+        state.  If a worker pipe dies (or a replica's method raises)
+        partway through a broadcast, the survivors may already have
+        applied the payload — e.g. half the group sitting one weight delta
+        ahead of ``_synced_version`` — and no further delta arithmetic can
+        tell who got what.  Fail *atomically instead of partially*: drop
+        the group wholesale, so the next :meth:`ensure` respawns every
+        replica from a fresh bundle of the master's live state (a
+        consistent snapshot by construction), and re-raise as
+        :class:`~repro.graph.errors.ExecutorTaskError` so callers hit one
+        error type for both task-level and transport-level failures (the
+        topology's failure path treats it like a worker loss).
+        """
+        assert self._group is not None
+        try:
+            return self._group.broadcast(method, *args)
+        except ExecutorTaskError:
+            self.discard()
+            raise
+        except ExecutorError as exc:
+            self.discard()
+            raise ExecutorTaskError(
+                type(exc).__name__,
+                f"replica broadcast {method!r} failed mid-flight; the group "
+                f"was discarded to avoid a half-synced replica set: {exc}",
+                "",
+            ) from exc
 
     def broadcast(self, method: str, *args: Any) -> Optional[List[Any]]:
         """Invoke ``method`` on every live replica; no-op when not spawned.
@@ -106,11 +137,14 @@ class ReplicaSet:
         list once and every replica applies the identical surgery instead
         of being discarded and respawned.  When the group is not spawned
         there is nothing to keep in sync (the next :meth:`ensure` captures
-        live state in a fresh bundle) and ``None`` is returned.
+        live state in a fresh bundle) and ``None`` is returned.  A failure
+        mid-broadcast discards the group and re-raises as
+        :class:`~repro.graph.errors.ExecutorTaskError` (see
+        :meth:`_atomic_broadcast`) — never a half-updated replica set.
         """
         if self._group is None:
             return None
-        return self._group.broadcast(method, *args)
+        return self._atomic_broadcast(method, *args)
 
     def discard(self) -> None:
         """Drop the group; the next :meth:`ensure` respawns from fresh state."""

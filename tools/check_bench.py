@@ -14,7 +14,11 @@ every push:
   ``baseline_ms``, ``new_ms``, ``speedup``, ``qps``) — except rows marked
   ``"kind": "counts"`` (e.g. the partition benchmark's boundary-vertex
   comparison), which instead require a non-empty ``counts`` mapping of
-  non-negative integers and are exempt from every latency/speedup rule;
+  non-negative integers, and rows marked ``"kind": "recovery"`` (the
+  chaos benchmark's per-fault SLO), which require a ``fault`` name, a
+  non-negative ``recovery_ms`` and a positive qps triple
+  (``qps_baseline``/``qps_dip``/``qps_recovered``); both kinds are exempt
+  from every latency/speedup rule;
 * types are right (``bench`` a string, ``config`` a mapping whose values
   are JSON scalars — extra per-bench keys such as ``kernel_tier`` or
   ``batch_size`` are fine — the rest numbers; ``qps`` may be ``null`` for
@@ -43,6 +47,18 @@ REQUIRED_KEYS = ("bench", "config", "baseline_ms", "new_ms", "speedup", "qps")
 #: Required keys of a ``kind: "counts"`` row — integer facts (e.g. boundary
 #: vertex counts) with no latency/speedup fields to cross-check.
 COUNTS_REQUIRED_KEYS = ("bench", "config", "counts")
+
+#: Required keys of a ``kind: "recovery"`` row — the chaos benchmark's
+#: per-fault recovery SLO (time-to-recover plus the throughput dip).
+RECOVERY_REQUIRED_KEYS = (
+    "bench",
+    "config",
+    "fault",
+    "recovery_ms",
+    "qps_baseline",
+    "qps_dip",
+    "qps_recovered",
+)
 
 #: Relative tolerance for ``speedup == baseline_ms / new_ms``.  The files
 #: round all three fields to 3 decimals independently, so the recomputed
@@ -125,10 +141,46 @@ def check_counts_row(name: str, payload: dict) -> List[str]:
     return problems
 
 
+def check_recovery_row(name: str, payload: dict) -> List[str]:
+    """Validate one ``kind: "recovery"`` row (per-fault recovery SLO)."""
+    problems: List[str] = []
+    for key in RECOVERY_REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{name}: missing required key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        problems.append(f"{name}: 'bench' must be a non-empty string")
+    _check_config(name, payload, problems)
+    if not isinstance(payload["fault"], str) or not payload["fault"]:
+        problems.append(f"{name}: 'fault' must be a non-empty string")
+    recovery_ms = payload["recovery_ms"]
+    if not _is_number(recovery_ms):
+        problems.append(
+            f"{name}: 'recovery_ms' must be a number, got {recovery_ms!r}"
+        )
+    elif not math.isfinite(recovery_ms) or recovery_ms < 0:
+        problems.append(
+            f"{name}: 'recovery_ms' must be non-negative and finite, "
+            f"got {recovery_ms!r}"
+        )
+    for key in ("qps_baseline", "qps_dip", "qps_recovered"):
+        value = payload[key]
+        if not _is_number(value):
+            problems.append(f"{name}: {key!r} must be a number, got {value!r}")
+        elif not math.isfinite(value) or value <= 0:
+            problems.append(
+                f"{name}: {key!r} must be positive and finite, got {value!r}"
+            )
+    return problems
+
+
 def check_row(name: str, payload: dict) -> List[str]:
     """Validate one benchmark row; returns a list of problem strings."""
     if payload.get("kind") == "counts":
         return check_counts_row(name, payload)
+    if payload.get("kind") == "recovery":
+        return check_recovery_row(name, payload)
     problems: List[str] = []
     for key in REQUIRED_KEYS:
         if key not in payload:
