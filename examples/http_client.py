@@ -1,0 +1,96 @@
+"""Front-door scenario: talking to the serving tier over HTTP, surviving faults.
+
+A deployed KSP-DG sits behind a network front door: replicated engines,
+deadline budgets, circuit breakers and a stale cache for graceful
+degradation.  This example wires the whole path together in one process:
+
+* a small road network is indexed and served by two replicas behind the
+  asyncio HTTP front door (:mod:`repro.frontdoor`),
+* a :class:`~repro.frontdoor.FrontDoorClient` with a seeded
+  :class:`~repro.frontdoor.RetryPolicy` issues queries with per-request
+  deadline budgets, retrying 429/503 with capped jittered backoff,
+* a maintenance round is pushed through ``POST /maintenance`` and the
+  graph version bump shows up in the next answer,
+* one replica is killed mid-run: rendezvous failover hides it; then the
+  *whole* fleet is killed and a previously-answered key comes back from
+  the stale cache flagged ``degraded: true`` while an unseen key gets an
+  honest 503,
+* the ``/healthz`` document shows breaker states and shed counters.
+
+Run with::
+
+    python examples/http_client.py
+"""
+
+from __future__ import annotations
+
+from repro.frontdoor import FrontDoorClient, RetryPolicy, build_replicas, start_front_door
+from repro.graph import road_network
+
+
+def show(result) -> str:
+    if result.status != 200:
+        return f"HTTP {result.status} after {result.attempts} attempt(s)"
+    distances = [round(path["distance"], 1) for path in result.paths]
+    tag = " (degraded, stale cache)" if result.degraded else ""
+    return (
+        f"{len(result.paths)} paths, distances {distances}, "
+        f"graph v{result.payload.get('stale_graph_version', result.payload['graph_version'])}, "
+        f"replica {result.payload.get('replica', '-')}{tag}"
+    )
+
+
+def main() -> None:
+    graph = road_network(6, 6, seed=3)
+    print(f"road network: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    replicas = build_replicas(graph, num_replicas=2, engine="yen")
+    with start_front_door(replicas) as handle:
+        print(f"front door listening on {handle.url}\n")
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.05, seed=7)
+        with FrontDoorClient.for_url(handle.url, retry_policy=policy) as client:
+            # 1. Plain queries with a 500 ms deadline budget each.
+            for source, target in [(0, 35), (5, 30)]:
+                result = client.query(source, target, k=3, budget_ms=500.0)
+                print(f"query ({source} -> {target}): {show(result)}")
+
+            # 2. A maintenance round: double the first few edge weights.
+            edges = list(graph.edges())[:4]
+            response = client.maintenance([(u, v, w * 2.0) for u, v, w in edges])
+            print(f"\nmaintenance round applied: {response}")
+            result = client.query(0, 35, k=3, budget_ms=500.0)
+            print(f"query (0 -> 35) after maintenance: {show(result)}")
+
+            # 3. Kill one replica: the retry policy plus rendezvous
+            #    failover hide the hole entirely.
+            handle.run_on_loop(handle.server.replicas[0].kill)
+            result = client.query(5, 30, k=3, budget_ms=500.0)
+            print(f"\nreplica 0 killed; query (5 -> 30): {show(result)}")
+
+            # 4. Kill the whole fleet: a warm key degrades gracefully,
+            #    an unseen key gets an honest 503.
+            handle.run_on_loop(handle.server.replicas[1].kill)
+            warm = client.query(0, 35, k=3, budget_ms=400.0)
+            cold = client.query(13, 22, k=3, budget_ms=400.0)
+            print(f"all replicas dead; warm key (0 -> 35): {show(warm)}")
+            print(f"all replicas dead; cold key (13 -> 22): {show(cold)}")
+
+            # 5. The health surface tells the same story.
+            health = client.health()
+            print("\n/healthz:")
+            for entry in health["replicas"]:
+                print(
+                    f"  replica {entry['id']}: alive={entry['alive']} "
+                    f"breaker={entry['breaker']}"
+                )
+            counters = health["counters"]
+            print(
+                f"  served ok={counters['served_ok']} "
+                f"degraded={counters['served_degraded']} "
+                f"failovers={counters['failovers']} "
+                f"unavailable={counters['no_replica_available']}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,23 @@ time-to-recover and throughput dip) carry ``"kind": "recovery"``, a
 ``write_bench_rows`` emits a recovery row for any input row holding a
 ``fault`` key.
 
+Rows that report a *serving operating point* (the front-door loadtest's
+throughput at a met latency SLO, plus availability under faults) carry
+``"kind": "loadtest"``::
+
+    {
+      "bench": "frontdoor",
+      "kind": "loadtest",
+      "config": {...},
+      "qps": 812.0,             # throughput at the saturation knee
+      "p99_ms": 6.1,            # p99 latency at the knee
+      "slo_ms": 250.0,          # the SLO the knee was found against
+      "availability": 1.0       # answered fraction (fresh or degraded)
+    }
+
+``write_bench_rows`` emits a loadtest row for any input row holding an
+``availability`` key.
+
 Files land next to ``bench_report.txt`` (the directory of
 ``$REPRO_BENCH_REPORT``, which the benchmark conftest points at the
 repository root by default), so a plain ``pytest benchmarks/`` leaves
@@ -134,6 +151,25 @@ def _recovery_row(
     }
 
 
+def _loadtest_row(
+    bench: str,
+    config: Dict[str, Union[Number, str]],
+    qps: float,
+    p99_ms: float,
+    slo_ms: float,
+    availability: float,
+) -> Dict[str, object]:
+    return {
+        "bench": bench,
+        "kind": "loadtest",
+        "config": config,
+        "qps": round(float(qps), 1),
+        "p99_ms": round(float(p99_ms), 3),
+        "slo_ms": round(float(slo_ms), 3),
+        "availability": round(float(availability), 4),
+    }
+
+
 def _write_payload(bench: str, payload: object) -> str:
     path = os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
     with open(path, "wt", encoding="utf-8") as handle:
@@ -165,7 +201,9 @@ def write_bench_rows(
     one shared baseline, e.g. snapshot-vs-fast kernel tiers.  A row holding
     a ``counts`` mapping is written as a ``kind: "counts"`` row (integer
     facts, no latency keys); a row holding a ``fault`` key is written as a
-    ``kind: "recovery"`` row (per-fault recovery SLO) instead.
+    ``kind: "recovery"`` row (per-fault recovery SLO); a row holding an
+    ``availability`` key is written as a ``kind: "loadtest"`` row (serving
+    operating point) instead.
     """
     payload = [
         _counts_row(bench, row["config"], row["counts"])
@@ -180,6 +218,15 @@ def write_bench_rows(
             row["qps_recovered"],
         )
         if "fault" in row
+        else _loadtest_row(
+            bench,
+            row["config"],
+            row["qps"],
+            row["p99_ms"],
+            row["slo_ms"],
+            row["availability"],
+        )
+        if "availability" in row
         else _bench_row(
             bench,
             row["config"],

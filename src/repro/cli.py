@@ -9,6 +9,8 @@ The CLI exposes the main workflows without writing Python code::
     python -m repro bench    --dataset NY --num-queries 20 --workers 4
     python -m repro replay   --dataset NY --num-queries 500 --update-rounds 50
     python -m repro serve    --dataset NY --epochs 10 --queries-per-epoch 40
+    python -m repro serve-http --dataset NY --replicas 2 --port 8080
+    python -m repro loadtest --dataset NY --replicas 2 --slo-ms 250
 
 ``generate`` writes a synthetic road network in DIMACS ``.gr`` format;
 ``partition`` partitions the graph (``--partitioner {bfs,mincut}``), builds
@@ -20,6 +22,13 @@ single KSP query (and cross-checks it against Yen's algorithm); ``bench``
 runs a query batch on the simulated cluster and prints the cost report.
 ``replay`` replays a reproducible mixed update/query trace through the
 online serving layer (:mod:`repro.service`) and prints the service report;
+``serve-http`` runs the resilient HTTP front door (:mod:`repro.frontdoor`)
+over N independent service replicas — rendezvous routing, deadline budgets,
+circuit breakers and degraded-mode serving; ``loadtest`` drives an
+in-process front door to its saturation knee and then scores availability
+under a seeded replica fault plan (exit codes: 1 wrong answers, 2
+availability below the floor, 3 no breaker trip with
+``--require-breaker-trip``);
 ``serve`` runs the serving loop epoch by epoch (one traffic snapshot plus
 one query wave per epoch), printing rolling per-epoch lines and the final
 report.  Every command accepts either ``--dataset`` (one of NY, COL, FLA,
@@ -326,6 +335,81 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("file", help="trace JSON written by --trace")
     trace_cmd.add_argument("--max-queries", type=int, default=None,
                            help="only render the first N query tracks")
+
+    def add_frontdoor_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--replicas", type=int, default=2,
+                         help="independent service replicas behind the front "
+                              "door (default 2)")
+        sub.add_argument("--engine", choices=["yen", "findksp", "kspdg"],
+                         default="yen",
+                         help="query engine inside each replica (default yen)")
+        sub.add_argument("--kernel", choices=["snapshot", "fast", "dict"],
+                         default="snapshot")
+        sub.add_argument("--executor", choices=list(EXECUTORS), default=None,
+                         help="execution backend inside each replica; defaults "
+                              "to $REPRO_EXECUTOR or serial")
+        sub.add_argument("--workers", type=int, default=2,
+                         help="workers per replica engine")
+        sub.add_argument("--z", type=int, default=48)
+        sub.add_argument("--xi", type=int, default=3)
+        sub.add_argument("--strict", action="store_true",
+                         help="strict mode: never serve version-stale cached "
+                              "answers (degraded mode off)")
+
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="serve KSP queries over HTTP through the resilient front door "
+             "(rendezvous routing, deadlines, breakers, degraded mode)")
+    add_graph_arguments(serve_http)
+    add_frontdoor_arguments(serve_http)
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=0,
+                            help="listen port (default 0 = ephemeral, printed "
+                                 "on startup)")
+    serve_http.add_argument("--duration", type=float, default=0.0,
+                            help="serve for this many seconds then exit "
+                                 "(default 0 = until interrupted)")
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="drive an in-process front door to its saturation knee, then "
+             "score availability under a seeded fault plan")
+    add_graph_arguments(loadtest)
+    add_frontdoor_arguments(loadtest)
+    loadtest.add_argument("--requests", type=int, default=120,
+                          help="queries per knee-sweep operating point "
+                               "(default 120)")
+    loadtest.add_argument("--concurrency", type=int, default=8,
+                          help="highest closed-loop concurrency in the knee "
+                               "sweep (powers of two up to this; default 8)")
+    loadtest.add_argument("--k", type=int, default=2)
+    loadtest.add_argument("--budget-ms", type=float, default=1000.0,
+                          help="per-request deadline budget (default 1000)")
+    loadtest.add_argument("--slo-ms", type=float, default=250.0,
+                          help="p99 latency SLO defining the knee (default 250)")
+    loadtest.add_argument("--fault-rate", type=float, default=0.5,
+                          help="probability a chaos window suffers one fault "
+                               "(default 0.5; 0 skips the fault phase)")
+    loadtest.add_argument("--fault-seed", type=int, default=11,
+                          help="seed of the generated fault plan (default 11)")
+    loadtest.add_argument("--fault-windows", type=int, default=6,
+                          help="traffic windows in the fault phase (default 6)")
+    loadtest.add_argument("--window-requests", type=int, default=8,
+                          help="requests per fault-phase window (default 8)")
+    loadtest.add_argument("--availability-floor", type=float, default=0.95,
+                          help="minimum answered fraction under faults "
+                               "(default 0.95; exit code 2 below it)")
+    loadtest.add_argument("--pin-faults", action="store_true",
+                          help="replace the generated plan with the pinned "
+                               "reference plan (mid-run replica kill + "
+                               "two-window stall) so breaker behaviour is "
+                               "deterministic, e.g. for CI smokes")
+    loadtest.add_argument("--require-breaker-trip", action="store_true",
+                          help="exit non-zero unless the fault phase tripped "
+                               "at least one circuit breaker")
+    loadtest.add_argument("--json", metavar="FILE", default=None,
+                          help="additionally write the combined loadtest "
+                               "report as JSON to FILE")
 
     return parser
 
@@ -772,6 +856,176 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_frontdoor_replicas(args: argparse.Namespace, graph: DynamicGraph):
+    from .frontdoor import build_replicas
+
+    return build_replicas(
+        graph,
+        num_replicas=args.replicas,
+        engine=args.engine,
+        kernel=args.kernel,
+        executor=args.executor,
+        workers=args.workers,
+        z=args.z,
+        xi=args.xi,
+    )
+
+
+def _command_serve_http(args: argparse.Namespace) -> int:
+    from .frontdoor import start_front_door
+
+    graph = _load_graph(args)
+    replicas = _build_frontdoor_replicas(args, graph)
+    with start_front_door(
+        replicas,
+        host=args.host,
+        port=args.port,
+        degraded_mode=not args.strict,
+    ) as handle:
+        print(f"front door listening on {handle.url} "
+              f"({args.replicas} x {args.engine} replicas, "
+              f"{'strict' if args.strict else 'degraded'} mode)")
+        print("endpoints: POST /query  POST /maintenance  GET /healthz  GET /metrics")
+        try:
+            if args.duration > 0:
+                time.sleep(args.duration)
+            else:
+                while True:  # pragma: no cover - interactive loop
+                    time.sleep(1.0)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        health = handle.health()
+        counters = health["counters"]
+        print(f"served {counters['served_ok']} ok / "
+              f"{counters['served_degraded']} degraded of "
+              f"{counters['requests_total']} requests "
+              f"({health['breaker_trips_total']} breaker trips)")
+    return 0
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    from .chaos import FaultPlan
+    from .frontdoor import find_knee, run_chaos_frontdoor, start_front_door
+
+    graph = _load_graph(args)
+    queries = QueryGenerator(graph, seed=args.seed, min_hops=2).generate(
+        args.requests, k=args.k
+    )
+    specs = [query.key for query in queries]
+    concurrencies = []
+    level = 1
+    while level <= max(1, args.concurrency):
+        concurrencies.append(level)
+        level *= 2
+
+    # Phase 1 — clean knee search: sweep closed-loop concurrency until the
+    # p99 SLO breaks; the knee is the last operating point that held it.
+    replicas = _build_frontdoor_replicas(args, graph)
+    with start_front_door(replicas, degraded_mode=not args.strict) as handle:
+        knee, sweep = find_knee(
+            handle.url,
+            specs,
+            slo_ms=args.slo_ms,
+            budget_ms=args.budget_ms,
+            concurrencies=concurrencies,
+            retry_seed=args.seed,
+        )
+    sweep_rows = [
+        [
+            row["concurrency"], row["total"], row["availability"],
+            row["qps"], row["p50_ms"], row["p99_ms"],
+            "yes" if row["p99_ms"] <= args.slo_ms else "NO",
+        ]
+        for row in (result.as_row() for result in sweep)
+    ]
+    print(format_table(
+        ["concurrency", "requests", "availability", "qps", "p50 (ms)",
+         "p99 (ms)", f"p99 <= {args.slo_ms:g}ms"],
+        sweep_rows,
+    ))
+    if knee is not None:
+        print(f"knee: {knee.qps:.1f} qps at concurrency {knee.concurrency} "
+              f"(p99 {knee.p99_ms:.1f} ms within {args.slo_ms:g} ms SLO)")
+    else:
+        print(f"knee: NOT FOUND (p99 misses the {args.slo_ms:g} ms SLO even "
+              f"at concurrency {concurrencies[0]})")
+
+    # Phase 2 — availability under the pinned fault plan, on a fresh fleet.
+    chaos_report = None
+    if args.pin_faults or args.fault_rate > 0:
+        if args.pin_faults:
+            from .chaos import FaultEvent
+
+            # The reference plan from the acceptance criteria: one replica
+            # dies mid-run for two windows while another stalls — enough to
+            # trip a breaker, force failovers, and still recover in-plan.
+            plan = FaultPlan(seed=args.fault_seed, events=(
+                FaultEvent(batch_index=1, kind="kill", duration_batches=2),
+                FaultEvent(batch_index=2, kind="stall", duration_batches=2),
+            ))
+        else:
+            plan = FaultPlan.generate(
+                args.fault_seed,
+                num_batches=args.fault_windows,
+                kinds=("kill", "stall", "slow"),
+                rate=args.fault_rate,
+                batch_size=args.window_requests,
+            )
+        chaos = run_chaos_frontdoor(
+            graph,
+            plan,
+            windows=args.fault_windows,
+            num_replicas=args.replicas,
+            engine=args.engine,
+            kernel=args.kernel,
+            executor=args.executor,
+            workers=args.workers,
+            window_requests=args.window_requests,
+            budget_ms=args.budget_ms,
+            k=args.k,
+            degraded_mode=not args.strict,
+            query_seed=args.seed + 1,
+        )
+        chaos_report = chaos.as_dict()
+        print()
+        print(format_table(["metric", "value"], [
+            ["fault windows (+cooldown)", f"{chaos.windows} (+{chaos.cooldown_windows})"],
+            ["planned faults", len(plan.events)],
+            ["requests", chaos.total],
+            ["answered fresh / degraded", f"{chaos.ok} / {chaos.degraded}"],
+            ["availability", round(chaos.availability, 4)],
+            ["wrong answers (vs oracle)", len(chaos.wrong_answers)],
+            ["replica kills", chaos.kills],
+            ["breaker trips", chaos.breaker_trips],
+            ["breakers recovered", "yes" if chaos.breakers_recovered else "NO"],
+        ]))
+    if args.json:
+        payload = {
+            "slo_ms": args.slo_ms,
+            "budget_ms": args.budget_ms,
+            "knee": knee.as_row() if knee is not None else None,
+            "sweep": [result.as_row() for result in sweep],
+            "chaos": chaos_report,
+        }
+        with open(args.json, "w", encoding="ascii") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote loadtest report to {args.json}")
+    if chaos_report is not None:
+        if chaos_report["wrong_answer_count"]:
+            print("FAIL: answers diverged from the fault-free oracle")
+            return 1
+        if chaos_report["availability"] < args.availability_floor:
+            print(f"FAIL: availability {chaos_report['availability']} below "
+                  f"floor {args.availability_floor}")
+            return 2
+        if args.require_breaker_trip and not chaos_report["breaker_trips"]:
+            print("FAIL: --require-breaker-trip set but no breaker tripped")
+            return 3
+        print(f"OK: zero wrong answers, availability "
+              f"{chaos_report['availability']} >= {args.availability_floor}")
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="ascii") as handle:
         payload = json.load(handle)
@@ -808,6 +1062,8 @@ _COMMANDS = {
     "serve": _command_serve,
     "chaos": _command_chaos,
     "trace": _command_trace,
+    "serve-http": _command_serve_http,
+    "loadtest": _command_loadtest,
 }
 
 

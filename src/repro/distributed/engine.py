@@ -154,6 +154,15 @@ class KSPDGEngine:
         """Process a whole batch with cluster-level cost accounting."""
         return self._topology.run_queries(queries, reset_metrics=True)
 
+    def healthy(self) -> bool:
+        """Whether the topology's execution backend can answer queries.
+
+        Consumed by the front door's replica health tracking — a process
+        backend with a dead worker reports ``False`` here long before the
+        next query batch would crash on the broken pipe.
+        """
+        return self._topology.executor.healthy()
+
     def close(self) -> None:
         """Release the topology's executor resources (idempotent)."""
         self._topology.close()

@@ -179,6 +179,17 @@ class Executor(abc.ABC):
         """Whether :meth:`close` has run."""
         return self._closed
 
+    def healthy(self) -> bool:
+        """Whether the backend can currently execute work.
+
+        The base definition is liveness of the handle itself (not closed);
+        backends with external resources refine it — the process backend
+        reports ``False`` as soon as any spawned worker process has died,
+        which is the health signal the front door's circuit breakers and
+        replica router consume.
+        """
+        return not self._closed
+
     def _check_open(self) -> None:
         if self._closed:
             raise ExecutorError(f"{self.name} executor is closed")

@@ -168,6 +168,19 @@ class ProcessExecutor(Executor):
         """Whether the worker processes have been spawned yet."""
         return bool(self._processes)
 
+    def healthy(self) -> bool:
+        """Liveness of the whole pool: closed or any dead worker → False.
+
+        A not-yet-started executor is healthy (workers spawn lazily on
+        first use); once spawned, a single dead process is enough to fail
+        the check, since group slots are pinned to workers and any group
+        touching the dead slot would error.  This is the signal consumed
+        by the front door's replica health tracking.
+        """
+        if self._closed:
+            return False
+        return all(process.is_alive() for process in self._processes)
+
     def _ensure_workers(self) -> None:
         self._check_open()
         if self._processes:

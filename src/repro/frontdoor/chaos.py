@@ -1,0 +1,453 @@
+"""Chaos-through-the-front-door: seeded faults, HTTP traffic, oracle scoring.
+
+PR 9's chaos harness injects faults *inside* one serving stack and replays
+the exact trace against an oracle.  This driver raises the failure domain
+one level: whole replicas are killed, stalled or slowed according to the
+same :class:`~repro.chaos.plan.FaultPlan` vocabulary while real HTTP
+clients (retries, deadlines and all) push traffic through the front door.
+The properties scored are the resilient-serving contract:
+
+* **zero wrong answers** — every 200 is checked against a fault-free
+  oracle graph that receives the identical maintenance rounds.  Fresh
+  answers must match Yen's distances at the *current* graph version;
+  degraded answers must byte-match an answer that was itself validated
+  when it was fresh (the stale cache can only replay history, never
+  invent).
+* **availability floor** — the fraction of requests answered (fresh or
+  degraded) stays above a floor even while replicas die mid-run.
+* **breaker recovery** — breakers trip during the faulted windows and are
+  no longer open after the cooldown windows of clean traffic.
+
+Time is windowed, not batched: window *w* of client traffic corresponds to
+batch index *w* of the fault plan.  Faults and maintenance are applied on
+the quiet boundary between windows, so every fresh answer inside a window
+is computed at one well-defined graph version and the oracle comparison is
+exact — determinism by construction, same trick as the PR-9 harness.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.yen import yen_k_shortest_paths
+from ..chaos.plan import FaultPlan
+from ..dynamics.traffic import TrafficModel
+from ..graph.graph import DynamicGraph, WeightUpdate
+from ..obs.metrics import percentile
+from ..workloads.queries import QueryGenerator
+from .breaker import OPEN
+from .client import FrontDoorClient
+from .replicas import build_replicas
+from .retry import RetryPolicy
+from .server import start_front_door
+
+__all__ = ["FrontDoorChaosResult", "run_chaos_frontdoor"]
+
+QueryKey = Tuple[int, int, int]
+
+#: Relative tolerance when comparing path distances against the oracle.
+_DISTANCE_RTOL = 1e-6
+
+
+@dataclass
+class FrontDoorChaosResult:
+    """Scored outcome of one chaos-through-the-front-door run."""
+
+    windows: int
+    cooldown_windows: int
+    total: int
+    ok: int
+    degraded: int
+    unavailable: int
+    cooldown_unavailable: int
+    wrong_answers: List[dict] = field(default_factory=list)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    breaker_trips: int = 0
+    final_breaker_states: Dict[int, str] = field(default_factory=dict)
+    kills: int = 0
+    maintenance_rounds: int = 0
+    retries: int = 0
+    #: Wall-clock seconds spent pushing traffic (window boundaries — fault
+    #: injection, maintenance, breaker waits — excluded).
+    traffic_seconds: float = 0.0
+    #: End-to-end latencies (ms) of every answered (200) request.
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        """Answered requests per second of traffic time, faults included."""
+        answered = self.ok + self.degraded
+        return answered / self.traffic_seconds if self.traffic_seconds else 0.0
+
+    @property
+    def p99_ms(self) -> float:
+        """p99 end-to-end latency of answered requests (ms)."""
+        return percentile(self.latencies_ms, 99.0) if self.latencies_ms else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered, fresh or degraded."""
+        return (self.ok + self.degraded) / self.total if self.total else 0.0
+
+    @property
+    def correct(self) -> bool:
+        """True when every answered request matched the oracle."""
+        return not self.wrong_answers
+
+    @property
+    def breakers_recovered(self) -> bool:
+        """True when no breaker is still open after the cooldown."""
+        return all(state != OPEN for state in self.final_breaker_states.values())
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (wrong answers truncated to the first 5)."""
+        return {
+            "windows": self.windows,
+            "cooldown_windows": self.cooldown_windows,
+            "total": self.total,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "unavailable": self.unavailable,
+            "cooldown_unavailable": self.cooldown_unavailable,
+            "availability": round(self.availability, 4),
+            "wrong_answers": self.wrong_answers[:5],
+            "wrong_answer_count": len(self.wrong_answers),
+            "status_counts": {str(s): n for s, n in sorted(self.status_counts.items())},
+            "breaker_trips": self.breaker_trips,
+            "final_breaker_states": {
+                str(rid): state
+                for rid, state in sorted(self.final_breaker_states.items())
+            },
+            "breakers_recovered": self.breakers_recovered,
+            "kills": self.kills,
+            "maintenance_rounds": self.maintenance_rounds,
+            "retries": self.retries,
+            "qps": round(self.qps, 1),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+class _Oracle:
+    """Fault-free twin graph plus a memo of validated answers.
+
+    The oracle graph starts as a pickled copy of the seed graph (the same
+    copy mechanism the replicas use) and receives the identical maintenance
+    rounds, so ``oracle.graph.version`` always equals the replicas' version
+    at window boundaries.  ``validated`` remembers the distances of every
+    fresh answer that passed, keyed by ``(query key, version)`` — the only
+    legitimate provenance for a degraded answer.
+    """
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self.graph = pickle.loads(pickle.dumps(graph))
+        self._expected: Dict[Tuple[QueryKey, int], Tuple[float, ...]] = {}
+        self.validated: Dict[Tuple[QueryKey, int], Tuple[float, ...]] = {}
+
+    def expected_distances(self, key: QueryKey) -> Tuple[float, ...]:
+        """Yen distances for ``key`` at the oracle's current version."""
+        memo_key = (key, self.graph.version)
+        cached = self._expected.get(memo_key)
+        if cached is None:
+            source, target, k = key
+            paths = yen_k_shortest_paths(self.graph, source, target, k)
+            cached = tuple(path.distance for path in paths)
+            self._expected[memo_key] = cached
+        return cached
+
+    def apply_round(self, updates: Sequence[WeightUpdate]) -> int:
+        self.graph.apply_updates(list(updates))
+        return self.graph.version
+
+
+def _distances_match(
+    got: Sequence[float], expected: Sequence[float]
+) -> bool:
+    if len(got) != len(expected):
+        return False
+    return all(
+        abs(g - e) <= _DISTANCE_RTOL * max(1.0, abs(e))
+        for g, e in zip(got, expected)
+    )
+
+
+def _check_answer(
+    oracle: _Oracle, key: QueryKey, payload: dict
+) -> Optional[dict]:
+    """Score one 200 payload; return a wrong-answer record or ``None``."""
+    distances = tuple(path.get("distance") for path in payload.get("paths", []))
+    if payload.get("degraded"):
+        version = int(payload.get("stale_graph_version", -1))
+        expected = oracle.validated.get((key, version))
+        if expected is None:
+            return {
+                "key": list(key),
+                "reason": "degraded answer with unvalidated provenance",
+                "stale_graph_version": version,
+            }
+        if not _distances_match(distances, expected):
+            return {
+                "key": list(key),
+                "reason": "degraded answer differs from its validated original",
+                "got": list(distances),
+                "expected": list(expected),
+            }
+        return None
+    version = int(payload.get("graph_version", -1))
+    if version != oracle.graph.version:
+        return {
+            "key": list(key),
+            "reason": "fresh answer at stale graph version",
+            "got_version": version,
+            "oracle_version": oracle.graph.version,
+        }
+    expected = oracle.expected_distances(key)
+    if not _distances_match(distances, expected):
+        return {
+            "key": list(key),
+            "reason": "fresh answer distances differ from oracle",
+            "got": list(distances),
+            "expected": list(expected),
+        }
+    oracle.validated[(key, version)] = expected
+    return None
+
+
+def _run_window(
+    url: str,
+    specs: Sequence[QueryKey],
+    concurrency: int,
+    budget_ms: float,
+    retry_seed: int,
+) -> List[Tuple[QueryKey, object]]:
+    """Push one window of traffic; return ``(key, ClientResult)`` pairs."""
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    outcomes: List[Tuple[QueryKey, object]] = []
+    outcome_lock = threading.Lock()
+
+    def worker(worker_index: int) -> None:
+        client = FrontDoorClient.for_url(
+            url,
+            retry_policy=RetryPolicy(seed=retry_seed * 1_000 + worker_index),
+            default_budget_ms=budget_ms,
+        )
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor[0]
+                    if index >= len(specs):
+                        break
+                    cursor[0] = index + 1
+                source, target, k = specs[index]
+                result = client.query(source, target, k, budget_ms=budget_ms)
+                with outcome_lock:
+                    outcomes.append(((source, target, k), result))
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(min(concurrency, max(1, len(specs))))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+def run_chaos_frontdoor(
+    graph: DynamicGraph,
+    plan: FaultPlan,
+    windows: Optional[int] = None,
+    num_replicas: int = 3,
+    engine: str = "yen",
+    kernel: str = "snapshot",
+    executor: Optional[str] = None,
+    workers: int = 2,
+    window_requests: int = 8,
+    concurrency: int = 4,
+    budget_ms: float = 800.0,
+    k: int = 2,
+    update_every: int = 2,
+    cooldown_windows: int = 3,
+    degraded_mode: bool = True,
+    query_seed: int = 0,
+    update_seed: int = 0,
+    stall_seconds: float = 0.08,
+) -> FrontDoorChaosResult:
+    """Run ``plan`` against a fresh front door and score the contract.
+
+    Window ``w`` of client traffic maps to batch index ``w`` of ``plan``;
+    faults fire on the boundary *before* their window so the window runs
+    entirely under the faulted topology.  ``kill`` victims auto-revive
+    after ``duration_batches`` windows (``join`` revives the
+    longest-dead replica early).  Maintenance rounds — identical for
+    replicas and oracle — land every ``update_every`` windows.  After the
+    plan, ``cooldown_windows`` of clean traffic (all replicas revived)
+    give breakers room to probe and close again.
+    """
+    if windows is None:
+        last_event = max((event.batch_index for event in plan.events), default=-1)
+        windows = last_event + 2
+    windows = max(1, windows)
+    oracle = _Oracle(graph)
+    total_windows = windows + cooldown_windows
+    generator = QueryGenerator(oracle.graph, seed=query_seed)
+    all_queries = generator.generate(total_windows * window_requests, k=k)
+    specs: List[QueryKey] = [query.key for query in all_queries]
+    traffic = TrafficModel(oracle.graph, seed=update_seed)
+    update_rounds = traffic.pregenerate(max(1, total_windows // max(1, update_every)))
+    events_by_window = plan.by_batch()
+
+    replicas = build_replicas(
+        graph,
+        num_replicas=num_replicas,
+        engine=engine,
+        kernel=kernel,
+        executor=executor,
+        workers=workers,
+        stall_seconds=stall_seconds,
+    )
+    result = FrontDoorChaosResult(
+        windows=windows,
+        cooldown_windows=cooldown_windows,
+        total=0,
+        ok=0,
+        degraded=0,
+        unavailable=0,
+        cooldown_unavailable=0,
+    )
+    # window index -> replica ids due to auto-revive at that boundary
+    pending_revives: Dict[int, List[int]] = {}
+    next_round = 0
+
+    with start_front_door(replicas, degraded_mode=degraded_mode) as handle:
+        server = handle.server
+        by_id = server.replicas
+
+        def alive_ids() -> List[int]:
+            return sorted(rid for rid, rep in by_id.items() if rep.alive)
+
+        def dead_ids() -> List[int]:
+            return sorted(rid for rid, rep in by_id.items() if not rep.alive)
+
+        for window in range(total_windows):
+            in_cooldown = window >= windows
+            # -- boundary: revives due this window -----------------------
+            for replica_id in pending_revives.pop(window, []):
+                handle.run_on_loop(by_id[replica_id].revive)
+            if in_cooldown and window == windows:
+                # Cooldown starts with a fully healed fleet.
+                for replica_id in dead_ids():
+                    handle.run_on_loop(by_id[replica_id].revive)
+                # Let every open breaker's window elapse so clean traffic
+                # can probe half-open breakers shut again.
+                wait = handle.run_on_loop(
+                    lambda: max(
+                        (b.retry_after() for b in server.breakers.values()),
+                        default=0.0,
+                    )
+                )
+                time.sleep(min(wait, 2.0))
+            # -- boundary: maintenance round -----------------------------
+            if (
+                update_every > 0
+                and window > 0
+                and window % update_every == 0
+                and next_round < len(update_rounds)
+            ):
+                round_updates = update_rounds[next_round]
+                next_round += 1
+                served_version = handle.apply_maintenance(round_updates)
+                oracle_version = oracle.apply_round(round_updates)
+                result.maintenance_rounds += 1
+                if served_version != oracle_version:
+                    result.wrong_answers.append(
+                        {
+                            "reason": "maintenance version drift",
+                            "served_version": served_version,
+                            "oracle_version": oracle_version,
+                        }
+                    )
+            # -- boundary: fault events for this window ------------------
+            if not in_cooldown:
+                for ordinal, event in enumerate(events_by_window.get(window, ())):
+                    rng = plan.victim_rng(window, ordinal)
+                    if event.kind == "kill":
+                        candidates = alive_ids()
+                        if len(candidates) <= 1:
+                            continue  # never kill the last replica standing
+                        victim = candidates[rng.randrange(len(candidates))]
+                        handle.run_on_loop(by_id[victim].kill)
+                        result.kills += 1
+                        revive_at = window + max(1, event.duration_batches)
+                        pending_revives.setdefault(revive_at, []).append(victim)
+                    elif event.kind == "join":
+                        dead = dead_ids()
+                        if dead:
+                            handle.run_on_loop(by_id[dead[0]].revive)
+                    elif event.kind == "stall":
+                        candidates = alive_ids()
+                        victim = candidates[rng.randrange(len(candidates))]
+                        handle.run_on_loop(
+                            by_id[victim].stall, max(1, event.duration_batches)
+                        )
+                    elif event.kind == "slow":
+                        candidates = alive_ids()
+                        victim = candidates[rng.randrange(len(candidates))]
+                        handle.run_on_loop(
+                            by_id[victim].slow,
+                            max(1, event.duration_batches),
+                            event.factor,
+                        )
+            # -- the window's traffic ------------------------------------
+            window_specs = specs[
+                window * window_requests : (window + 1) * window_requests
+            ]
+            window_started = time.perf_counter()
+            outcomes = _run_window(
+                handle.url,
+                window_specs,
+                concurrency,
+                budget_ms,
+                retry_seed=window,
+            )
+            result.traffic_seconds += time.perf_counter() - window_started
+            for key, client_result in outcomes:
+                result.total += 1
+                status = client_result.status
+                result.status_counts[status] = (
+                    result.status_counts.get(status, 0) + 1
+                )
+                if status != 200:
+                    result.unavailable += 1
+                    if in_cooldown:
+                        result.cooldown_unavailable += 1
+                    continue
+                if client_result.degraded:
+                    result.degraded += 1
+                else:
+                    result.ok += 1
+                result.latencies_ms.append(client_result.latency_seconds * 1e3)
+                wrong = _check_answer(oracle, key, client_result.payload)
+                if wrong is not None:
+                    wrong["window"] = window
+                    result.wrong_answers.append(wrong)
+
+        result.breaker_trips = server.breaker_trips_total()
+        result.final_breaker_states = handle.run_on_loop(
+            lambda: {
+                rid: server.breakers[rid].state for rid in sorted(server.breakers)
+            }
+        )
+        result.retries = sum(
+            replica.service.report().retried_submissions
+            for replica in by_id.values()
+            if not replica.service.closed
+        )
+    return result

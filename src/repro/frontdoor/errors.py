@@ -1,0 +1,28 @@
+"""Exceptions raised by the front-door serving tier."""
+
+from __future__ import annotations
+
+from ..graph.errors import ReproError
+
+__all__ = [
+    "FrontDoorError",
+    "ReplicaUnavailableError",
+    "NoReplicaAvailableError",
+]
+
+
+class FrontDoorError(ReproError):
+    """Base class for errors raised by :mod:`repro.frontdoor`."""
+
+
+class ReplicaUnavailableError(FrontDoorError):
+    """A replica refused work because it is down (killed or dead backend).
+
+    The connection-refused analogue of a real deployment: the failure is
+    *immediate* and *definitive*, so breakers classify it more aggressively
+    than a timeout (which may just be a slow batch).
+    """
+
+
+class NoReplicaAvailableError(FrontDoorError):
+    """Every routable replica was down or breaker-open for this request."""

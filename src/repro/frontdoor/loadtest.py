@@ -1,0 +1,263 @@
+"""Load generation against the front door: closed loop, open loop, knee.
+
+Two canonical load shapes, because they answer different questions:
+
+* **closed loop** — N workers, each issuing its next query only after the
+  previous answer returns.  Offered load adapts to service speed, so this
+  measures *capacity*: the throughput the system sustains at a given
+  concurrency.  Sweeping N upward and watching p99 finds the *saturation
+  knee* — the largest concurrency whose p99 still meets the SLO, and the
+  qps achieved there (:func:`find_knee`, the headline of
+  ``BENCH_frontdoor.json``).
+* **open loop** — requests fire on a fixed schedule whether or not earlier
+  ones returned, the way real traffic arrives.  Past the knee this is the
+  shape that exposes queue collapse: latency grows without bound while a
+  closed loop would quietly self-throttle.  Used by the overload tests and
+  available from the CLI.
+
+Workers use :class:`~repro.frontdoor.client.FrontDoorClient` (one per
+thread), so retries/backoff/deadline discipline are part of the measured
+loop — the availability number is what a well-behaved client experiences,
+not what a raw socket would see.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..obs.metrics import percentile
+from .client import FrontDoorClient
+from .retry import RetryPolicy
+
+__all__ = ["LoadtestResult", "run_closed_loop", "run_open_loop", "find_knee"]
+
+QuerySpec = Tuple[int, int, int]  # (source, target, k)
+
+
+@dataclass(frozen=True)
+class LoadtestResult:
+    """Aggregate outcome of one load run at one operating point."""
+
+    mode: str
+    concurrency: int
+    total: int
+    ok: int
+    degraded: int
+    unavailable: int
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    elapsed_seconds: float
+    retries: int
+    offered_qps: Optional[float] = None
+    statuses: dict = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered (fresh or degraded)."""
+        return (self.ok + self.degraded) / self.total if self.total else 0.0
+
+    def as_row(self) -> dict:
+        """Flat summary used by report tables and the bench JSON."""
+        return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "total": self.total,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "unavailable": self.unavailable,
+            "availability": round(self.availability, 4),
+            "qps": round(self.qps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "retries": self.retries,
+        }
+
+
+def _aggregate(
+    mode: str,
+    concurrency: int,
+    outcomes: Sequence[Tuple[int, float, bool]],
+    elapsed: float,
+    retries: int,
+    offered_qps: Optional[float] = None,
+) -> LoadtestResult:
+    """Fold raw ``(status, latency, degraded)`` samples into one result."""
+    statuses: dict = {}
+    ok = degraded = 0
+    answered_latencies_ms: List[float] = []
+    for status, latency, was_degraded in outcomes:
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == 200:
+            if was_degraded:
+                degraded += 1
+            else:
+                ok += 1
+            answered_latencies_ms.append(latency * 1e3)
+    answered_latencies_ms.sort()
+    total = len(outcomes)
+    return LoadtestResult(
+        mode=mode,
+        concurrency=concurrency,
+        total=total,
+        ok=ok,
+        degraded=degraded,
+        unavailable=total - ok - degraded,
+        qps=(ok + degraded) / elapsed if elapsed > 0 else 0.0,
+        p50_ms=percentile(answered_latencies_ms, 50.0),
+        p95_ms=percentile(answered_latencies_ms, 95.0),
+        p99_ms=percentile(answered_latencies_ms, 99.0),
+        elapsed_seconds=elapsed,
+        retries=retries,
+        offered_qps=offered_qps,
+        statuses=statuses,
+    )
+
+
+def run_closed_loop(
+    url: str,
+    queries: Sequence[QuerySpec],
+    concurrency: int = 4,
+    budget_ms: float = 1_000.0,
+    retry_seed: int = 0,
+) -> LoadtestResult:
+    """Issue ``queries`` from ``concurrency`` synchronous workers.
+
+    Queries are consumed from one shared cursor, so the split across
+    workers adapts to per-request latency (a worker stuck on a slow
+    replica takes fewer).  Each worker owns one keep-alive client with a
+    deterministic per-worker retry seed.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    outcomes: List[Tuple[int, float, bool]] = []
+    outcome_lock = threading.Lock()
+    retries = [0]
+
+    def worker(worker_index: int) -> None:
+        client = FrontDoorClient.for_url(
+            url,
+            retry_policy=RetryPolicy(seed=retry_seed * 1_000 + worker_index),
+            default_budget_ms=budget_ms,
+        )
+        local: List[Tuple[int, float, bool]] = []
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor[0]
+                    if index >= len(queries):
+                        break
+                    cursor[0] = index + 1
+                source, target, k = queries[index]
+                result = client.query(source, target, k, budget_ms=budget_ms)
+                local.append((result.status, result.latency_seconds, result.degraded))
+        finally:
+            with outcome_lock:
+                outcomes.extend(local)
+                retries[0] += client.retries
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return _aggregate("closed", concurrency, outcomes, elapsed, retries[0])
+
+
+def run_open_loop(
+    url: str,
+    queries: Sequence[QuerySpec],
+    offered_qps: float,
+    budget_ms: float = 1_000.0,
+    retry_seed: int = 0,
+) -> LoadtestResult:
+    """Fire ``queries`` on a fixed ``offered_qps`` schedule (one thread each).
+
+    The schedule does not wait for responses — this is the arrival process
+    that overwhelms a saturated service instead of politely adapting, which
+    is exactly what the shedding/degradation paths need to be tested under.
+    """
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+    interval = 1.0 / offered_qps
+    outcomes: List[Tuple[int, float, bool]] = []
+    outcome_lock = threading.Lock()
+    retries = [0]
+
+    def fire(index: int, spec: QuerySpec) -> None:
+        client = FrontDoorClient.for_url(
+            url,
+            retry_policy=RetryPolicy(seed=retry_seed * 1_000 + index),
+            default_budget_ms=budget_ms,
+        )
+        try:
+            source, target, k = spec
+            result = client.query(source, target, k, budget_ms=budget_ms)
+            with outcome_lock:
+                outcomes.append(
+                    (result.status, result.latency_seconds, result.degraded)
+                )
+                retries[0] += client.retries
+        finally:
+            client.close()
+
+    threads: List[threading.Thread] = []
+    started = time.perf_counter()
+    for index, spec in enumerate(queries):
+        target_time = started + index * interval
+        delay = target_time - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(target=fire, args=(index, spec), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return _aggregate(
+        "open", len(threads), outcomes, elapsed, retries[0], offered_qps=offered_qps
+    )
+
+
+def find_knee(
+    url: str,
+    queries: Sequence[QuerySpec],
+    slo_ms: float,
+    budget_ms: float = 1_000.0,
+    concurrencies: Sequence[int] = (1, 2, 4, 8, 16),
+    retry_seed: int = 0,
+) -> Tuple[Optional[LoadtestResult], List[LoadtestResult]]:
+    """Sweep closed-loop concurrency upward until p99 violates the SLO.
+
+    Returns ``(knee, all_results)`` where ``knee`` is the highest-qps
+    result whose p99 met ``slo_ms`` (``None`` if even concurrency 1
+    missed it).  The sweep stops at the first violation — beyond the knee
+    every higher concurrency only queues harder.
+    """
+    results: List[LoadtestResult] = []
+    knee: Optional[LoadtestResult] = None
+    for concurrency in concurrencies:
+        result = run_closed_loop(
+            url, queries, concurrency=concurrency, budget_ms=budget_ms,
+            retry_seed=retry_seed,
+        )
+        results.append(result)
+        if result.p99_ms <= slo_ms and result.availability == 1.0:
+            if knee is None or result.qps > knee.qps:
+                knee = result
+        else:
+            break
+    return knee, results

@@ -36,7 +36,12 @@ Quickstart
 """
 
 from .cache import CacheEntry, CacheStats, ResultCache
-from .errors import ServiceClosedError, ServiceError, ServiceOverloadedError
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from .pipeline import PendingRequest, RequestPipeline
 from .replay import ReplayResult, TraceEvent, generate_trace, replay
 from .server import KSPService, ServedQuery
@@ -49,6 +54,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "DeadlineExceededError",
     "PendingRequest",
     "RequestPipeline",
     "TraceEvent",

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..graph.errors import ReproError
 
-__all__ = ["ServiceError", "ServiceOverloadedError", "ServiceClosedError"]
+__all__ = [
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "DeadlineExceededError",
+]
 
 
 class ServiceError(ReproError):
@@ -12,22 +19,60 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """Raised when the admission queue is full and a request is shed.
+    """Raised when a request is shed instead of admitted.
 
-    Carries the rejected query's key and the queue capacity so callers
-    (load generators, API front-ends) can implement backpressure or retry
-    policies without parsing the message.
+    Two shed reasons exist (``reason`` distinguishes them):
+
+    * ``"queue_full"`` — the admission queue is at capacity;
+    * ``"deadline"`` — the queue has room, but the service estimates it
+      cannot answer within the request's deadline budget, so accepting the
+      work would only burn compute on an answer nobody waits for.
+
+    ``retry_after`` is the server's estimate (in seconds) of when a retry
+    is likely to be admitted — the backlog drain time derived from the
+    pipeline's batch-latency EWMA.  HTTP front ends surface it as a
+    ``Retry-After`` header on 429/503 responses, and retrying clients
+    (:class:`repro.frontdoor.client.FrontDoorClient`, the replay driver)
+    use it as the floor of their capped backoff.
     """
 
-    def __init__(self, key: tuple, capacity: int) -> None:
+    def __init__(
+        self,
+        key: Tuple,
+        capacity: int,
+        retry_after: float = 0.0,
+        reason: str = "queue_full",
+    ) -> None:
         source, target, k = key
+        if reason == "deadline":
+            detail = "deadline budget too small for current backlog"
+        else:
+            detail = f"admission queue full (capacity {capacity})"
         super().__init__(
-            f"admission queue full (capacity {capacity}); "
-            f"shed query ({source}, {target}, k={k})"
+            f"{detail}; shed query ({source}, {target}, k={k}); "
+            f"retry after {retry_after:.3f}s"
         )
         self.key = key
         self.capacity = capacity
+        self.retry_after = max(0.0, float(retry_after))
+        self.reason = reason
 
 
 class ServiceClosedError(ServiceError):
     """Raised when a request is submitted to a service that was closed."""
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline budget elapsed before an answer.
+
+    Carries the query key and how far past the deadline the failure was
+    observed (``overrun_seconds``; 0.0 when unknown).
+    """
+
+    def __init__(self, key: Tuple, overrun_seconds: float = 0.0) -> None:
+        source, target, k = key
+        super().__init__(
+            f"deadline exceeded for query ({source}, {target}, k={k})"
+        )
+        self.key = key
+        self.overrun_seconds = max(0.0, float(overrun_seconds))

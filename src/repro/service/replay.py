@@ -21,6 +21,7 @@ The ``repro replay`` CLI command is a thin wrapper over these two calls.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -130,6 +131,9 @@ class ReplayResult:
     served: List[ServedQuery] = field(default_factory=list)
     shed_queries: List[KSPQuery] = field(default_factory=list)
     stale_served: int = 0
+    #: Retries of shed submissions that eventually got admitted (pressure
+    #: absorbed by backoff, distinct from queries lost in shed_queries).
+    retried_submissions: int = 0
 
     @property
     def num_served(self) -> int:
@@ -146,29 +150,41 @@ def replay(
     service: KSPService,
     trace: List[TraceEvent],
     validate: bool = False,
+    max_retries: int = 3,
 ) -> ReplayResult:
     """Replay ``trace`` against ``service`` and collect the outcome.
 
     Queries are submitted in trace order; a micro-batch is processed
     whenever the queue reaches the pipeline's batch size, update rounds run
     through :meth:`KSPService.maintenance_step` (after flushing pending
-    queries, so a batch never straddles a snapshot), and overloaded
-    submissions are recorded rather than raised.  Note that this pacing is
-    itself a form of backpressure: the driver drains before the queue can
-    overflow, so sheds only occur when the service is shared with other
-    submitters or its queue was pre-loaded — the shed handling here is the
-    driver being a well-behaved client of the bounded queue, not the
-    common path.
+    queries, so a batch never straddles a snapshot).  A shed submission is
+    *retried* up to ``max_retries`` times: the driver honors the error's
+    ``retry_after`` by draining enough micro-batches to cover it (the
+    replay clock is batch-driven, so draining *is* waiting), then
+    resubmits and records the retry via :meth:`KSPService.note_retry`.
+    Only a query still shed after its retry budget lands in
+    ``shed_queries`` — the report thereby separates pressure absorbed by
+    backoff (``retried_submissions``) from work actually lost (``shed``).
+    Pass ``max_retries=0`` for the old drop-on-first-shed behavior.
+
+    Note that the batch-size pacing is itself a form of backpressure: the
+    driver drains before the queue can overflow, so sheds only occur when
+    the service is shared with other submitters or its queue was
+    pre-loaded — the retry handling here is the driver being a
+    well-behaved client of the bounded queue, not the common path.
 
     With ``validate=True`` every served path is re-priced against the
     graph's current weights immediately on serve; any mismatch beyond
     floating-point tolerance counts as *stale*.  With scoped cache
     invalidation this count must be zero — the test suite asserts it.
     """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
     graph = service.graph
     served_all: List[ServedQuery] = []
     shed_queries: List[KSPQuery] = []
     stale_served = 0
+    retried_submissions = 0
 
     def handle(served: List[ServedQuery]) -> None:
         nonlocal stale_served
@@ -183,6 +199,30 @@ def replay(
                         break
         served_all.extend(served)
 
+    def submit_with_backoff(query: KSPQuery) -> bool:
+        """Submit with capped retry-on-shed; returns ``False`` if shed."""
+        nonlocal retried_submissions
+        for attempt in range(max_retries + 1):
+            try:
+                service.submit(query)
+                return True
+            except ServiceOverloadedError as exc:
+                if attempt >= max_retries:
+                    return False
+                # The replay clock is batch-driven: draining n batches is
+                # the driver's equivalent of sleeping n batch-times, so
+                # honor retry_after by draining the batches it spans —
+                # capped, like any sane client backoff.
+                pipeline = service.pipeline
+                batches = math.ceil(exc.retry_after / pipeline.estimated_batch_seconds)
+                for _ in range(max(1, min(4, batches))):
+                    if service.pipeline.empty:
+                        break
+                    handle(service.process_batch())
+                retried_submissions += 1
+                service.note_retry()
+        return False
+
     batch_trigger = min(service.pipeline.max_batch_size, service.pipeline.capacity)
     for event in trace:
         if event.kind == "update":
@@ -190,9 +230,7 @@ def replay(
             service.maintenance_step(list(event.updates))
             continue
         assert event.query is not None
-        try:
-            service.submit(event.query)
-        except ServiceOverloadedError:
+        if not submit_with_backoff(event.query):
             shed_queries.append(event.query)
             continue
         if service.queue_depth >= batch_trigger:
@@ -203,4 +241,5 @@ def replay(
         served=served_all,
         shed_queries=shed_queries,
         stale_served=stale_served,
+        retried_submissions=retried_submissions,
     )

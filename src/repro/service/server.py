@@ -53,13 +53,21 @@ __all__ = ["ServedQuery", "KSPService"]
 
 @dataclass(frozen=True)
 class ServedQuery:
-    """One answered query as handed back to the caller."""
+    """One answered query as handed back to the caller.
+
+    ``deadline_expired`` marks a *failed* serve: the query's deadline
+    budget elapsed while it sat in the admission queue, so ``paths`` is
+    empty and the waiter should be answered with a deadline error rather
+    than a result.  Expired serves are excluded from latency percentiles —
+    they measure abandonment, not service time.
+    """
 
     query: KSPQuery
     paths: List[Path] = field(default_factory=list)
     from_cache: bool = False
     latency_seconds: float = 0.0
     graph_version: int = 0
+    deadline_expired: bool = False
 
 
 class KSPService:
@@ -226,17 +234,32 @@ class KSPService:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, query: KSPQuery) -> bool:
+    def submit(self, query: KSPQuery, deadline: Optional[float] = None) -> bool:
         """Admit one query; returns ``True`` when it coalesced.
 
+        ``deadline`` is an absolute ``time.perf_counter`` instant; when
+        given, admission sheds the query up front if the estimated backlog
+        wait already exceeds the budget (see
+        :meth:`RequestPipeline.submit`).
+
         Raises :class:`ServiceOverloadedError` when the admission queue is
-        full and :class:`ServiceClosedError` after :meth:`close`.
+        full or the deadline is infeasible, and :class:`ServiceClosedError`
+        after :meth:`close`.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
-        coalesced = self._pipeline.submit(query)
+        coalesced = self._pipeline.submit(query, deadline=deadline)
         self._telemetry.record_queue_depth(self._pipeline.depth)
         return coalesced
+
+    def note_retry(self) -> None:
+        """Record one client retry of a previously shed submission.
+
+        Called by retrying drivers (the replay loop, the HTTP front door)
+        so the report can separate *pressure absorbed by backoff* from
+        *work lost to shedding*.
+        """
+        self._telemetry.retried_submissions += 1
 
     def process_batch(self) -> List[ServedQuery]:
         """Answer one micro-batch of pending requests (may be empty).
@@ -253,7 +276,14 @@ class KSPService:
         pipeline is never locked around the compute.
         """
         version = self._graph.version
+        batch_started = time.perf_counter()
         batch = self._pipeline.next_batch()
+        # Slots whose deadline lapsed in queue are answered with an empty,
+        # expired-flagged serve so waiters get a definitive failure instead
+        # of silence; they never reach the engine.
+        expired_served: List[ServedQuery] = []
+        for expired in self._pipeline.drain_expired():
+            expired_served.extend(self._fan_out_expired(expired, version))
         # Hits are fanned out immediately — their latency must reflect
         # queue time, not the compute time of the batch's misses — while a
         # None placeholder holds each miss's slot so the final assembly
@@ -285,7 +315,13 @@ class KSPService:
                 )
         if self._tracer is not None and batch:
             self._record_batch_trace(batch, outcome_by_position, version)
-        return [served for slot in answered for served in (slot or [])]
+        if batch:
+            # Feed the drain-time EWMA behind deadline admission and the
+            # Retry-After hints; empty polls carry no signal.
+            self._pipeline.observe_batch_seconds(time.perf_counter() - batch_started)
+        results = [served for slot in answered for served in (slot or [])]
+        results.extend(expired_served)
+        return results
 
     def _record_batch_trace(
         self,
@@ -364,6 +400,27 @@ class KSPService:
                 )
             )
         return results
+
+    def _fan_out_expired(
+        self, pending: PendingRequest, version: int
+    ) -> List[ServedQuery]:
+        """Answer an in-queue-expired slot with failure serves.
+
+        Deliberately bypasses ``record_served``: expired slots measure how
+        long callers were willing to wait, not how fast the service
+        answered, so they must not drag the latency percentiles.
+        """
+        return [
+            ServedQuery(
+                query=query,
+                paths=[],
+                from_cache=False,
+                latency_seconds=0.0,
+                graph_version=version,
+                deadline_expired=True,
+            )
+            for query in pending.queries
+        ]
 
     def _is_fresh(self, entry: CacheEntry) -> bool:
         """Re-check a hit against per-edge versions (belt and braces).
@@ -496,6 +553,18 @@ class KSPService:
             "service_max_queue_depth", help="admission-queue high-water mark"
         ).set_max(telemetry.depth_max)
         registry.counter("service_shed_total").inc(self._pipeline.shed)
+        registry.counter(
+            "service_shed_deadline_total",
+            help="admissions rejected as infeasible within their deadline budget",
+        ).inc(self._pipeline.deadline_rejected)
+        registry.counter(
+            "service_deadline_expired_total",
+            help="queued slots whose deadline lapsed before batching",
+        ).inc(self._pipeline.deadline_expired)
+        registry.counter(
+            "service_retried_submissions_total",
+            help="client retries of previously shed submissions",
+        ).inc(self._telemetry.retried_submissions)
         registry.counter("service_coalesced_total").inc(self._pipeline.coalesced)
         if self._cache is not None:
             stats = self._cache.stats
@@ -534,6 +603,9 @@ class KSPService:
             hit_rate=hit_rate,
             coalesced=self._pipeline.coalesced,
             shed=self._pipeline.shed,
+            shed_deadline=self._pipeline.deadline_rejected,
+            deadline_expired=self._pipeline.deadline_expired,
+            retried_submissions=self._telemetry.retried_submissions,
             cache_invalidations=invalidations,
             cache_full_flushes=flushes,
             cache_stale_rejections=stale_rejections,

@@ -54,6 +54,15 @@ class ServiceReport:
     cache_stale_rejections: int
     kernel: str = "dict"
     heuristic: str = "none"
+    #: Deadline-budget accounting: admissions shed up front as infeasible
+    #: within their budget, queued slots whose deadline lapsed before
+    #: batching, and client retries of previously shed submissions
+    #: (reported via ``KSPService.note_retry`` by the replay driver and
+    #: the HTTP front door).  Retries are the pressure absorbed by
+    #: backoff; ``shed`` is the work actually lost.
+    shed_deadline: int = 0
+    deadline_expired: int = 0
+    retried_submissions: int = 0
     rebalances: int = 0
     subgraphs_migrated: int = 0
     #: Recovery SLO counters (non-zero only for elastic distributed
@@ -86,6 +95,9 @@ class ServiceReport:
             "cache hit rate": round(self.hit_rate, 4),
             "coalesced requests": self.coalesced,
             "shed requests": self.shed,
+            "shed (deadline infeasible)": self.shed_deadline,
+            "deadline expired in queue": self.deadline_expired,
+            "retried submissions": self.retried_submissions,
             "latency p50 (ms)": round(self.latency_p50_ms, 3),
             "latency p90 (ms)": round(self.latency_p90_ms, 3),
             "latency p95 (ms)": round(self.latency_p95_ms, 3),
@@ -123,6 +135,8 @@ class ServiceTelemetry:
 
     max_latency_samples: int = 100_000
     queries_served: int = 0
+    #: Client retries of previously shed submissions (``note_retry``).
+    retried_submissions: int = 0
     unique_computations: int = 0
     maintenance_rounds: int = 0
     updates_applied: int = 0
@@ -177,6 +191,9 @@ class ServiceTelemetry:
         cache_stale_rejections: int = 0,
         kernel: str = "dict",
         heuristic: str = "none",
+        shed_deadline: int = 0,
+        deadline_expired: int = 0,
+        retried_submissions: int = 0,
         rebalances: int = 0,
         subgraphs_migrated: int = 0,
         workers_joined: int = 0,
@@ -223,6 +240,9 @@ class ServiceTelemetry:
             cache_stale_rejections=cache_stale_rejections,
             kernel=kernel,
             heuristic=heuristic,
+            shed_deadline=shed_deadline,
+            deadline_expired=deadline_expired,
+            retried_submissions=retried_submissions,
             rebalances=rebalances,
             subgraphs_migrated=subgraphs_migrated,
             workers_joined=workers_joined,

@@ -265,6 +265,15 @@ class _CentralizedEngine:
         tagged.sort(key=lambda item: item[0])
         return [outcome for _, outcome in tagged]
 
+    def healthy(self) -> bool:
+        """Whether the engine's execution backend can answer queries.
+
+        Delegates to the executor's liveness check (a process backend with
+        a dead worker reports ``False``); consumed by the front door's
+        replica health tracking.
+        """
+        return self._executor.healthy()
+
     def close(self) -> None:
         """Release executor resources (idempotent)."""
         self._replica_set.discard()

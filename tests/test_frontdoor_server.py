@@ -1,0 +1,271 @@
+"""End-to-end tests of the HTTP front door over real sockets.
+
+Each test boots a real :class:`FrontDoorServer` (asyncio, ephemeral port,
+background thread) with small in-process replicas and talks to it through
+:class:`FrontDoorClient` — the same transport the load generator and chaos
+driver use.  Covered: correct answers vs Yen, deadline budgets (504),
+overload shedding (429 + ``Retry-After``), replica failover, degraded
+serving from the stale cache vs strict mode, maintenance rounds and the
+health/metrics surfaces.
+"""
+
+from __future__ import annotations
+
+import socket
+import urllib.request
+
+import pytest
+
+from repro.algorithms import yen_k_shortest_paths
+from repro.frontdoor import (
+    FrontDoorClient,
+    RetryPolicy,
+    build_replicas,
+    start_front_door,
+)
+from repro.graph import road_network
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return road_network(6, 6, seed=3)
+
+
+@pytest.fixture()
+def front_door(graph):
+    replicas = build_replicas(graph, num_replicas=2, engine="yen")
+    with start_front_door(replicas) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(front_door):
+    with FrontDoorClient.for_url(
+        front_door.url, retry_policy=RetryPolicy(seed=1)
+    ) as active_client:
+        yield active_client
+
+
+class TestQueryPath:
+    def test_answers_match_yen(self, graph, front_door, client):
+        for source, target in [(0, 35), (5, 30), (12, 23)]:
+            result = client.query(source, target, k=3)
+            assert result.status == 200
+            assert not result.degraded
+            expected = yen_k_shortest_paths(graph, source, target, 3)
+            got = [path["distance"] for path in result.paths]
+            assert got == pytest.approx([path.distance for path in expected])
+
+    def test_response_carries_routing_metadata(self, front_door, client):
+        result = client.query(0, 35, k=2)
+        payload = result.payload
+        assert payload["graph_version"] == 0
+        assert payload["degraded"] is False
+        assert payload["replica"] in (0, 1)
+        assert payload["attempts"] == 1
+
+    def test_same_key_routes_to_same_replica(self, front_door, client):
+        first = client.query(3, 32, k=2).payload["replica"]
+        for _ in range(3):
+            assert client.query(3, 32, k=2).payload["replica"] == first
+
+    def test_bad_request_is_400(self, front_door, client):
+        status, payload, _headers = client._request(
+            "POST", "/query", {"source": "zero", "target": 5, "k": 2}, {}, 5.0
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_missing_route_is_404(self, front_door, client):
+        status, _payload, _headers = client._request(
+            "GET", "/no-such-route", None, {}, 5.0
+        )
+        assert status == 404
+
+    def test_unknown_vertex_is_404(self, front_door, client):
+        result = client.query(0, 10_000, k=2)
+        assert result.status == 404
+
+
+class TestDeadlines:
+    def test_infeasible_deadline_is_shed_not_computed(self, front_door, client):
+        # A microscopic budget cannot cover even one batch: the server must
+        # shed at admission (503 deadline) or the client gives up (504);
+        # either way no wrong answer and no hung request.
+        result = client.query(1, 34, k=2, budget_ms=0.5)
+        assert result.status in (503, 504)
+
+    def test_default_budget_succeeds(self, front_door, client):
+        assert client.query(2, 33, k=2).status == 200
+
+
+class TestFailoverAndDegraded:
+    def test_failover_hides_a_dead_replica(self, graph, front_door, client):
+        server = front_door.server
+        # Kill one replica: every key fails over to the survivor.
+        front_door.run_on_loop(server.replicas[0].kill)
+        for source, target in [(0, 35), (7, 28), (14, 21)]:
+            result = client.query(source, target, k=2)
+            assert result.status == 200
+            assert result.payload["replica"] == 1
+            expected = yen_k_shortest_paths(graph, source, target, 2)
+            assert [path["distance"] for path in result.paths] == pytest.approx(
+                [path.distance for path in expected]
+            )
+        assert server.counters["failovers"] > 0
+
+    def test_degraded_serving_from_stale_cache(self, front_door, client):
+        server = front_door.server
+        warm = client.query(0, 35, k=2)
+        assert warm.status == 200
+        for replica in server.replicas.values():
+            front_door.run_on_loop(replica.kill)
+        stale = client.query(0, 35, k=2)
+        assert stale.status == 200
+        assert stale.degraded
+        assert stale.payload["stale_graph_version"] == 0
+        assert [path["distance"] for path in stale.paths] == [
+            path["distance"] for path in warm.paths
+        ]
+        assert server.counters["served_degraded"] == 1
+
+    def test_uncached_key_fails_when_all_replicas_down(self, front_door, client):
+        server = front_door.server
+        for replica in server.replicas.values():
+            front_door.run_on_loop(replica.kill)
+        result = client.query(4, 31, k=2, budget_ms=250.0)
+        assert result.status == 503
+
+    def test_strict_mode_never_serves_stale(self, graph):
+        replicas = build_replicas(graph, num_replicas=2, engine="yen")
+        with start_front_door(replicas, degraded_mode=False) as handle:
+            with FrontDoorClient.for_url(handle.url) as strict_client:
+                warm = strict_client.query(0, 35, k=2)
+                assert warm.status == 200
+                server = handle.server
+                for replica in server.replicas.values():
+                    handle.run_on_loop(replica.kill)
+                result = strict_client.query(0, 35, k=2, budget_ms=250.0)
+                assert result.status == 503
+                assert server.counters["served_degraded"] == 0
+
+    def test_breaker_opens_after_repeated_refusals(self, front_door, client):
+        server = front_door.server
+        front_door.run_on_loop(server.replicas[0].kill)
+        for offset in range(6):
+            client.query(offset, 35 - offset, k=2, budget_ms=300.0)
+        assert server.breaker_trips_total() >= 1
+
+
+class TestMaintenance:
+    def test_round_bumps_version_and_changes_answers(self, graph, front_door, client):
+        before = client.query(0, 35, k=2)
+        edges = list(graph.edges())[:4]
+        response = client.maintenance([(u, v, w * 2.0) for u, v, w in edges])
+        assert response == {"applied": 4, "graph_version": 1}
+        after = client.query(0, 35, k=2)
+        assert after.status == 200
+        assert after.payload["graph_version"] == 1
+        assert not after.degraded
+        assert before.payload["graph_version"] == 0
+
+    def test_killed_replica_receives_the_round_too(self, graph, front_door, client):
+        server = front_door.server
+        front_door.run_on_loop(server.replicas[1].kill)
+        edges = list(graph.edges())[:2]
+        client.maintenance([(u, v, w * 1.5) for u, v, w in edges])
+        front_door.run_on_loop(server.replicas[1].revive)
+        # Both replicas answer at the same version after the revive.
+        versions = {
+            client.query(s, t, k=2).payload["graph_version"]
+            for s, t in [(0, 35), (7, 28), (9, 26), (3, 32)]
+        }
+        assert versions == {1}
+
+
+class TestObservability:
+    def test_healthz_document(self, front_door, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["degraded_mode"] is True
+        assert len(health["replicas"]) == 2
+        for entry in health["replicas"]:
+            assert entry["alive"] is True
+            assert entry["breaker"] == "closed"
+
+    def test_metrics_exposition(self, front_door, client):
+        client.query(0, 35, k=2)
+        with urllib.request.urlopen(f"{front_door.url}/metrics", timeout=10) as resp:
+            text = resp.read().decode("utf-8")
+        assert "frontdoor_requests_total 1" in text
+        assert "frontdoor_breaker_state" in text
+
+    def test_oversized_body_is_rejected(self, front_door):
+        # Declare a 2 MiB body but send none: the server must refuse from
+        # the Content-Length alone, before buffering anything.
+        host, _, port = front_door.url.split("//", 1)[-1].partition(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\n"
+                b"Host: frontdoor\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 2097152\r\n"
+                b"\r\n"
+            )
+            status_line = sock.makefile("rb").readline()
+        assert b"413" in status_line
+
+
+class TestOverload:
+    def test_queue_full_returns_429_with_retry_after(self, graph):
+        # Tiny admission queue + a stalled replica: submits pile up until
+        # the queue refuses, which must surface as 429 + Retry-After.
+        replicas = build_replicas(
+            graph, num_replicas=1, engine="yen",
+            queue_capacity=2, max_batch_size=2, stall_seconds=0.3,
+        )
+        with start_front_door(replicas) as handle:
+            handle.run_on_loop(handle.server.replicas[0].stall, 50)
+            import threading
+
+            lock = threading.Lock()
+            outcomes = []
+
+            def fire(index: int) -> None:
+                local = FrontDoorClient.for_url(handle.url)
+                try:
+                    # One raw exchange, no client-side retry loop: observe
+                    # the shed response and its headers as sent.
+                    status, _payload, headers = local._request(
+                        "POST", "/query",
+                        {"source": index, "target": 35 - index, "k": 2},
+                        {"X-Deadline-Ms": "250.0"},
+                        timeout=5.0,
+                    )
+                    with lock:
+                        outcomes.append((status, headers.get("retry-after")))
+                finally:
+                    local.close()
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            shed = handle.server.counters["shed_overload"]
+            deadline_shed = handle.server.counters["shed_deadline_infeasible"]
+            # Under this much pressure requests must be refused early —
+            # queue-full (429) or deadline-infeasible (503) shedding.
+            assert shed + deadline_shed > 0
+            shed_responses = [
+                (status, retry_after)
+                for status, retry_after in outcomes
+                if status in (429, 503)
+            ]
+            assert shed_responses
+            for _status, retry_after in shed_responses:
+                # Every shed response advertises a positive backoff hint.
+                assert retry_after is not None
+                assert float(retry_after) > 0.0

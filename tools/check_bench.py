@@ -17,8 +17,11 @@ every push:
   non-negative integers, and rows marked ``"kind": "recovery"`` (the
   chaos benchmark's per-fault SLO), which require a ``fault`` name, a
   non-negative ``recovery_ms`` and a positive qps triple
-  (``qps_baseline``/``qps_dip``/``qps_recovered``); both kinds are exempt
-  from every latency/speedup rule;
+  (``qps_baseline``/``qps_dip``/``qps_recovered``), and rows marked
+  ``"kind": "loadtest"`` (the front-door loadtest's serving operating
+  point), which require positive finite ``qps``/``p99_ms``/``slo_ms`` and
+  an ``availability`` in ``[0, 1]``; all three kinds are exempt from every
+  latency/speedup rule;
 * types are right (``bench`` a string, ``config`` a mapping whose values
   are JSON scalars — extra per-bench keys such as ``kernel_tier`` or
   ``batch_size`` are fine — the rest numbers; ``qps`` may be ``null`` for
@@ -58,6 +61,17 @@ RECOVERY_REQUIRED_KEYS = (
     "qps_baseline",
     "qps_dip",
     "qps_recovered",
+)
+
+#: Required keys of a ``kind: "loadtest"`` row — the front-door loadtest's
+#: serving operating point (throughput at a met p99 SLO, availability).
+LOADTEST_REQUIRED_KEYS = (
+    "bench",
+    "config",
+    "qps",
+    "p99_ms",
+    "slo_ms",
+    "availability",
 )
 
 #: Relative tolerance for ``speedup == baseline_ms / new_ms``.  The files
@@ -175,12 +189,45 @@ def check_recovery_row(name: str, payload: dict) -> List[str]:
     return problems
 
 
+def check_loadtest_row(name: str, payload: dict) -> List[str]:
+    """Validate one ``kind: "loadtest"`` row (serving operating point)."""
+    problems: List[str] = []
+    for key in LOADTEST_REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{name}: missing required key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        problems.append(f"{name}: 'bench' must be a non-empty string")
+    _check_config(name, payload, problems)
+    for key in ("qps", "p99_ms", "slo_ms"):
+        value = payload[key]
+        if not _is_number(value):
+            problems.append(f"{name}: {key!r} must be a number, got {value!r}")
+        elif not math.isfinite(value) or value <= 0:
+            problems.append(
+                f"{name}: {key!r} must be positive and finite, got {value!r}"
+            )
+    availability = payload["availability"]
+    if not _is_number(availability):
+        problems.append(
+            f"{name}: 'availability' must be a number, got {availability!r}"
+        )
+    elif not math.isfinite(availability) or not 0.0 <= availability <= 1.0:
+        problems.append(
+            f"{name}: 'availability' must be within [0, 1], got {availability!r}"
+        )
+    return problems
+
+
 def check_row(name: str, payload: dict) -> List[str]:
     """Validate one benchmark row; returns a list of problem strings."""
     if payload.get("kind") == "counts":
         return check_counts_row(name, payload)
     if payload.get("kind") == "recovery":
         return check_recovery_row(name, payload)
+    if payload.get("kind") == "loadtest":
+        return check_loadtest_row(name, payload)
     problems: List[str] = []
     for key in REQUIRED_KEYS:
         if key not in payload:
